@@ -1,0 +1,76 @@
+// Command snbench regenerates the paper's evaluation: every table and
+// figure of §4, printed as the same rows and series the paper reports.
+//
+//	snbench                      # full suite (several minutes)
+//	snbench -quick               # single-run, short-window suite
+//	snbench -exp fig6            # one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"safetynet"
+)
+
+var experiments = []string{"table2", "fig5", "fig6", "fig7", "fig8", "recovery", "detect"}
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment: "+strings.Join(experiments, ", ")+", or all")
+		quick = flag.Bool("quick", false, "single-run, short-window sizing")
+		runs  = flag.Int("runs", 0, "override the number of perturbed runs per point")
+	)
+	flag.Parse()
+
+	cfg := safetynet.DefaultConfig()
+	opts := safetynet.DefaultOptions()
+	if *quick {
+		opts = safetynet.QuickOptions()
+	}
+	if *runs > 0 {
+		opts.Runs = *runs
+	}
+
+	selected := experiments
+	if *exp != "all" {
+		ok := false
+		for _, e := range experiments {
+			if e == *exp {
+				ok = true
+			}
+		}
+		if !ok {
+			fmt.Fprintf(os.Stderr, "snbench: unknown experiment %q (have %v)\n", *exp, experiments)
+			os.Exit(1)
+		}
+		selected = []string{*exp}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		var out string
+		switch e {
+		case "table2":
+			out = safetynet.RunTable2(cfg)
+		case "fig5":
+			out = safetynet.RunFig5(cfg, opts)
+		case "fig6":
+			out = safetynet.RunFig6(cfg, opts)
+		case "fig7":
+			out = safetynet.RunFig7(cfg, opts)
+		case "fig8":
+			out = safetynet.RunFig8(cfg, opts)
+		case "recovery":
+			out = safetynet.RunRecovery(cfg, opts)
+		case "detect":
+			out = safetynet.RunDetect(cfg, opts)
+		}
+		fmt.Println("==================================================================")
+		fmt.Println(out)
+		fmt.Printf("[%s completed in %v]\n\n", e, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,68 @@
+// Command snsim runs one simulation of the SafetyNet target system and
+// prints a run summary.
+//
+// Examples:
+//
+//	snsim -workload oltp -cycles 4000000
+//	snsim -workload apache -unprotected -drop-at 1000000   # crashes
+//	snsim -workload apache -drop-at 1000000                # recovers
+//	snsim -workload jbb -kill-node 5 -kill-at 1000000      # hard fault
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"safetynet"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "oltp", "workload preset (oltp, jbb, apache, slashcode, barnes, stress)")
+		unprotected  = flag.Bool("unprotected", false, "disable SafetyNet (baseline system)")
+		cycles       = flag.Uint64("cycles", 4_000_000, "cycles to simulate (1 cycle = 1 ns)")
+		seed         = flag.Uint64("seed", 1, "simulation seed")
+		interval     = flag.Uint64("interval", 100_000, "checkpoint interval in cycles")
+		clbKB        = flag.Int("clb", 512, "checkpoint log buffer size per node (KB)")
+		dropAt       = flag.Uint64("drop-at", 0, "drop one coherence message at this cycle (0 = none)")
+		dropEvery    = flag.Uint64("drop-every", 0, "drop one message per period (cycles, 0 = none)")
+		killNode     = flag.Int("kill-node", -1, "node whose EW half-switch dies (-1 = none)")
+		killAt       = flag.Uint64("kill-at", 1_000_000, "cycle at which the half-switch dies")
+	)
+	flag.Parse()
+
+	cfg := safetynet.DefaultConfig()
+	cfg.SafetyNetEnabled = !*unprotected
+	cfg.Seed = *seed
+	cfg.CheckpointIntervalCycles = *interval
+	if cfg.ValidationSignoffCycles > *interval {
+		cfg.ValidationSignoffCycles = *interval
+	}
+	cfg.CLBBytes = *clbKB << 10
+	if cfg.ValidationWatchdogCycles <= cfg.CheckpointIntervalCycles {
+		cfg.ValidationWatchdogCycles = 6 * cfg.CheckpointIntervalCycles
+	}
+
+	sys, err := safetynet.New(cfg, *workloadName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "snsim:", err)
+		os.Exit(1)
+	}
+	if *dropAt > 0 {
+		sys.InjectDropOnce(*dropAt)
+	}
+	if *dropEvery > 0 {
+		sys.InjectDropEvery(*dropEvery, *dropEvery)
+	}
+	if *killNode >= 0 {
+		sys.KillSwitch(*killNode, *killAt)
+	}
+
+	sys.Start()
+	sys.Run(*cycles)
+	fmt.Print(sys.Summary())
+	if sys.Result().Crashed {
+		os.Exit(2)
+	}
+}

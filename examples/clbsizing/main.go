@@ -1,0 +1,49 @@
+// CLB sizing: explore the storage-cost trade-off of §4.3 (Figures 6 and
+// 8). Larger checkpoint intervals log fewer store overwrites per
+// instruction (temporal locality amortizes the first-update-per-interval
+// rule), but total CLB occupancy grows with interval length; undersized
+// CLBs throttle execution through nacks and store stalls.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"safetynet"
+)
+
+func run(cfg safetynet.Config, wl string, cycles uint64) safetynet.Result {
+	sys, err := safetynet.New(cfg, wl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.Start()
+	sys.Run(cycles)
+	return sys.Result()
+}
+
+func main() {
+	const wl = "jbb"
+
+	fmt.Println("checkpoint interval vs logging rate (Figure 6's intuition):")
+	fmt.Printf("%-12s %-14s %-16s\n", "interval", "stores logged", "per 1k instrs")
+	for _, interval := range []uint64{10_000, 100_000, 1_000_000} {
+		cfg := safetynet.DefaultConfig()
+		cfg.CheckpointIntervalCycles = interval
+		cfg.ValidationSignoffCycles = interval
+		cfg.ValidationWatchdogCycles = 6 * interval
+		r := run(cfg, wl, 4_000_000)
+		fmt.Printf("%-12d %-14d %-16.2f\n", interval, r.StoresLogged,
+			1000*float64(r.StoresLogged)/float64(r.Instrs))
+	}
+
+	fmt.Println("\nCLB size vs throughput (Figure 8's intuition):")
+	fmt.Printf("%-12s %-12s %-12s\n", "CLB size", "agg IPC", "recoveries")
+	for _, kb := range []int{1024, 512, 256, 128, 64} {
+		cfg := safetynet.DefaultConfig()
+		cfg.CLBBytes = kb << 10
+		r := run(cfg, wl, 4_000_000)
+		fmt.Printf("%-12s %-12.3f %-12d\n", fmt.Sprintf("%dKB", kb), r.IPC, r.Recoveries)
+	}
+	fmt.Println("\n(the paper: 512KB suffices; 256KB degrades jbb and apache; 128KB degrades all)")
+}

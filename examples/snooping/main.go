@@ -1,0 +1,56 @@
+// Snooping variant (paper footnote 1 and §2.3): SafetyNet implemented on
+// a broadcast snooping MOSI protocol over a totally ordered interconnect.
+// On an ordered interconnect the logical time base is trivial — every
+// component simply counts the coherence requests it has processed and
+// checkpoints every K of them. No checkpoint clock is distributed, no
+// skew bound is needed, and all components agree on every transaction's
+// checkpoint interval by construction.
+//
+// This example runs the snooping system fault-free, shows that every
+// node's logical clock is identical, then injects the transient fault
+// (a dropped data response) and shows recovery.
+package main
+
+import (
+	"fmt"
+
+	"safetynet/internal/snoop"
+	"safetynet/internal/workload"
+)
+
+func main() {
+	cfg := snoop.DefaultConfig()
+	cfg.Seed = 1
+	sys := snoop.New(cfg, workload.Stress())
+	sys.Start()
+	sys.Run(300_000)
+
+	fmt.Printf("snooping SafetyNet: %d nodes, checkpoint every %d bus slots\n",
+		cfg.Nodes, cfg.CheckpointInterval)
+	fmt.Printf("after 300k cycles: %d instructions, recovery point = checkpoint %d\n",
+		sys.TotalInstrs(), sys.RPCN())
+
+	fmt.Println("\nlogical time is the shared snoop order — every node agrees exactly:")
+	for _, n := range sys.Nodes() {
+		fmt.Printf("  node CCN = %d\n", nCCN(sys, n))
+	}
+
+	// Inject the transient fault: the next data response vanishes.
+	sys.DropNextDataResponse()
+	sys.Run(600_000)
+	fmt.Printf("\nafter a dropped data response: %d recovery(ies), still running\n", sys.Recoveries)
+	fmt.Printf("instructions: %d (durable, post-rollback)\n", sys.TotalInstrs())
+
+	if ok := sys.Quiesce(200_000); !ok {
+		fmt.Println("warning: failed to quiesce")
+		return
+	}
+	if errs := sys.CheckCoherence(); len(errs) == 0 {
+		fmt.Println("coherence invariants hold after recovery")
+	} else {
+		fmt.Printf("violations: %v\n", errs)
+	}
+}
+
+// nCCN reads a node's checkpoint number through the test accessor.
+func nCCN(s *snoop.System, n *snoop.Node) uint32 { return uint32(n.CCN()) }

@@ -1,0 +1,207 @@
+// Package checker is the randomized protocol and recovery tester, in the
+// spirit of the random tester the paper used to exercise its protocol
+// implementation "for billions of cycles ... injecting faults and
+// stressing corner cases by exploiting false sharing and reordering
+// messages" (§4.1, after Wood et al.). Each run builds a small-cache,
+// short-interval machine under the false-sharing-heavy stress workload,
+// injects randomized faults, and verifies the MOSI and SafetyNet
+// invariants at every recovery and at the end of the run.
+package checker
+
+import (
+	"fmt"
+
+	"safetynet/internal/config"
+	"safetynet/internal/machine"
+	"safetynet/internal/sim"
+	"safetynet/internal/snoop"
+	"safetynet/internal/topology"
+	"safetynet/internal/workload"
+)
+
+// Options sizes a checker campaign.
+type Options struct {
+	// Seeds is the number of randomized runs.
+	Seeds int
+	// CyclesPerRun is each run's length.
+	CyclesPerRun uint64
+	// Protected selects SafetyNet (true) or the unprotected baseline
+	// (false; fault injection is then disabled since any loss crashes).
+	Protected bool
+}
+
+// DefaultOptions is a CI-sized campaign.
+func DefaultOptions() Options {
+	return Options{Seeds: 10, CyclesPerRun: 400_000, Protected: true}
+}
+
+// Report is a campaign's outcome.
+type Report struct {
+	Runs       int
+	Recoveries int
+	Faults     int
+	Violations []string
+}
+
+// OK reports whether the campaign found no violations.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+// String summarizes the report.
+func (r *Report) String() string {
+	status := "PASS"
+	if !r.OK() {
+		status = fmt.Sprintf("FAIL (%d violations)", len(r.Violations))
+	}
+	return fmt.Sprintf("checker: %d runs, %d injected faults, %d recoveries: %s",
+		r.Runs, r.Faults, r.Recoveries, status)
+}
+
+// stressConfig shrinks the machine so short runs exercise evictions,
+// writebacks, checkpoint churn, and CLB pressure.
+func stressConfig(protected bool, seed uint64) config.Params {
+	p := config.Default()
+	p.SafetyNetEnabled = protected
+	p.L1Bytes = 8 << 10
+	p.L2Bytes = 64 << 10
+	p.CheckpointIntervalCycles = 10_000
+	p.ValidationSignoffCycles = 10_000
+	p.CLBBytes = 96 << 10
+	p.RequestTimeoutCycles = 15_000
+	p.ValidationWatchdogCycles = 80_000
+	p.CheckpointClockSkewCycles = 8 // below min message latency
+	p.LatencyPerturbation = 4
+	p.Seed = seed
+	return p
+}
+
+// Check runs the campaign.
+func Check(o Options) *Report {
+	rep := &Report{}
+	for seed := uint64(1); seed <= uint64(o.Seeds); seed++ {
+		rep.Runs++
+		rep.run(o, seed)
+	}
+	return rep
+}
+
+func (rep *Report) violate(seed uint64, format string, a ...any) {
+	rep.Violations = append(rep.Violations,
+		fmt.Sprintf("seed %d: %s", seed, fmt.Sprintf(format, a...)))
+}
+
+func (rep *Report) run(o Options, seed uint64) {
+	p := stressConfig(o.Protected, seed)
+	if !o.Protected {
+		p.CheckpointClockSkewCycles = 0
+	}
+	m := machine.New(p, workload.Stress())
+	r := sim.NewRand(seed * 77)
+
+	// Randomized fault plan (protected runs only).
+	if o.Protected {
+		n := r.Intn(7)
+		horizon := o.CyclesPerRun
+		switch n {
+		case 1:
+			m.Net.InjectDropOnce(sim.Time(20_000 + r.Uint64n(horizon/2)))
+			rep.Faults++
+		case 2:
+			m.Net.InjectDropEvery(sim.Time(20_000), sim.Time(horizon/4))
+			rep.Faults++
+		case 3:
+			victim := topology.SwitchID(r.Intn(2 * p.NumNodes))
+			m.Net.KillSwitchAt(victim, sim.Time(20_000+r.Uint64n(horizon/2)))
+			rep.Faults++
+		case 4:
+			m.Net.InjectCorruptOnce(sim.Time(20_000 + r.Uint64n(horizon/2)))
+			rep.Faults++
+		case 5:
+			m.Net.InjectMisrouteOnce(sim.Time(20_000 + r.Uint64n(horizon/2)))
+			rep.Faults++
+		case 6:
+			m.Net.InjectDuplicateOnce(sim.Time(20_000 + r.Uint64n(horizon/2)))
+			rep.Faults++
+		}
+	}
+
+	// Verify coherence at the instant each recovery completes (the
+	// restored state must already be consistent, before re-execution).
+	recoveredOK := true
+	m.AfterRecovery = func() {
+		if errs := m.CheckCoherence(); len(errs) != 0 {
+			recoveredOK = false
+			rep.violate(seed, "post-recovery violation: %s", errs[0])
+		}
+	}
+
+	m.Start()
+	m.Run(sim.Time(o.CyclesPerRun))
+
+	if o.Protected && m.Crashed {
+		rep.violate(seed, "protected system crashed: %s", m.CrashCause)
+		return
+	}
+	if svc := m.ActiveService(); svc != nil {
+		rep.Recoveries += len(svc.Recoveries())
+	}
+	if !recoveredOK {
+		return
+	}
+	if !m.Quiesce(sim.Time(o.CyclesPerRun)) {
+		// A quiesce failure after a hard fault can mean the system is
+		// still recovering; allow extra budget before declaring it hung.
+		if !m.Quiesce(sim.Time(o.CyclesPerRun)) {
+			rep.violate(seed, "system failed to quiesce")
+			return
+		}
+	}
+	if errs := m.CheckCoherence(); len(errs) != 0 {
+		rep.violate(seed, "final-state violation (%d total): %s", len(errs), errs[0])
+	}
+	if m.TotalInstrs() == 0 {
+		rep.violate(seed, "no forward progress")
+	}
+}
+
+// CheckSnoop runs the randomized campaign against the broadcast snooping
+// variant: randomized dropped data responses plus the same invariant
+// checks.
+func CheckSnoop(o Options) *Report {
+	rep := &Report{}
+	for seed := uint64(1); seed <= uint64(o.Seeds); seed++ {
+		rep.Runs++
+		rep.runSnoop(o, seed)
+	}
+	return rep
+}
+
+func (rep *Report) runSnoop(o Options, seed uint64) {
+	cfg := snoop.DefaultConfig()
+	cfg.Seed = seed
+	s := snoop.New(cfg, workload.Stress())
+	r := sim.NewRand(seed * 131)
+
+	drops := r.Intn(3)
+	for i := 0; i < drops; i++ {
+		at := sim.Time(20_000 + r.Uint64n(o.CyclesPerRun/2))
+		s.Engine().Schedule(at, s.DropNextDataResponse)
+		rep.Faults++
+	}
+	s.Start()
+	s.Run(sim.Time(o.CyclesPerRun))
+	rep.Recoveries += s.Recoveries
+	if drops > 0 && s.Dropped() > 0 && s.Recoveries == 0 {
+		rep.violate(seed, "snoop: dropped data response never recovered")
+		return
+	}
+	if !s.Quiesce(sim.Time(o.CyclesPerRun)) {
+		rep.violate(seed, "snoop: failed to quiesce")
+		return
+	}
+	if errs := s.CheckCoherence(); len(errs) != 0 {
+		rep.violate(seed, "snoop: %s", errs[0])
+	}
+	if s.TotalInstrs() == 0 {
+		rep.violate(seed, "snoop: no forward progress")
+	}
+}

@@ -1,0 +1,60 @@
+package checker
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckerProtectedCampaign(t *testing.T) {
+	o := DefaultOptions()
+	if testing.Short() {
+		o.Seeds = 4
+	}
+	rep := Check(o)
+	if !rep.OK() {
+		for _, v := range rep.Violations {
+			t.Error(v)
+		}
+	}
+	if rep.Runs != o.Seeds {
+		t.Fatalf("Runs = %d, want %d", rep.Runs, o.Seeds)
+	}
+	if rep.Faults == 0 {
+		t.Fatal("campaign injected no faults; seeds too uniform")
+	}
+	if !strings.Contains(rep.String(), "PASS") {
+		t.Fatalf("report = %q", rep.String())
+	}
+}
+
+func TestCheckerUnprotectedFaultFree(t *testing.T) {
+	rep := Check(Options{Seeds: 3, CyclesPerRun: 300_000, Protected: false})
+	if !rep.OK() {
+		for _, v := range rep.Violations {
+			t.Error(v)
+		}
+	}
+	if rep.Faults != 0 {
+		t.Fatal("unprotected campaign must not inject faults")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := &Report{Runs: 2, Violations: []string{"x"}}
+	if !strings.Contains(r.String(), "FAIL") {
+		t.Fatalf("report = %q", r.String())
+	}
+}
+
+func TestCheckerSnoopCampaign(t *testing.T) {
+	o := Options{Seeds: 6, CyclesPerRun: 300_000, Protected: true}
+	rep := CheckSnoop(o)
+	if !rep.OK() {
+		for _, v := range rep.Violations {
+			t.Error(v)
+		}
+	}
+	if rep.Runs != o.Seeds {
+		t.Fatalf("Runs = %d, want %d", rep.Runs, o.Seeds)
+	}
+}

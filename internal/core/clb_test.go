@@ -1,0 +1,172 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"safetynet/internal/cache"
+	"safetynet/internal/msg"
+)
+
+func TestCLBAppendAndCapacity(t *testing.T) {
+	c := NewCLB(72*3, 72)
+	if c.CapEntries() != 3 {
+		t.Fatalf("CapEntries = %d, want 3", c.CapEntries())
+	}
+	for i := 0; i < 3; i++ {
+		if !c.Append(Entry{Addr: uint64(i), Tag: 2}) {
+			t.Fatalf("append %d rejected before full", i)
+		}
+	}
+	if !c.Full() {
+		t.Fatal("CLB should be full")
+	}
+	if c.Append(Entry{Addr: 99, Tag: 2}) {
+		t.Fatal("append to full CLB must be rejected")
+	}
+	if c.FullRejections() != 1 {
+		t.Fatalf("FullRejections = %d, want 1", c.FullRejections())
+	}
+	if c.Bytes() != 216 || c.PeakBytes() != 216 {
+		t.Fatalf("Bytes = %d, PeakBytes = %d, want 216", c.Bytes(), c.PeakBytes())
+	}
+}
+
+func TestCLBDeallocateThrough(t *testing.T) {
+	c := NewCLB(72*10, 72)
+	for _, tag := range []msg.CN{2, 2, 3, 4, 5} {
+		c.Append(Entry{Tag: tag})
+	}
+	if freed := c.DeallocateThrough(3); freed != 3 {
+		t.Fatalf("freed = %d, want 3 (tags 2,2,3)", freed)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if freed := c.DeallocateThrough(2); freed != 0 {
+		t.Fatalf("second dealloc freed %d, want 0", freed)
+	}
+}
+
+func TestCLBUnrollReverseOrder(t *testing.T) {
+	c := NewCLB(72*10, 72)
+	for i := uint64(0); i < 5; i++ {
+		c.Append(Entry{Addr: i, Tag: 2})
+	}
+	var got []uint64
+	n := c.Unroll(func(e Entry) { got = append(got, e.Addr) })
+	if n != 5 {
+		t.Fatalf("unrolled %d, want 5", n)
+	}
+	for i, a := range got {
+		if a != uint64(4-i) {
+			t.Fatalf("unroll order %v, want reverse append", got)
+		}
+	}
+	if c.Len() != 0 {
+		t.Fatal("unroll must clear the log")
+	}
+}
+
+func TestCLBTransferAccounting(t *testing.T) {
+	c := NewCLB(72*10, 72)
+	c.Append(Entry{Transfer: true})
+	c.Append(Entry{})
+	c.Append(Entry{Transfer: true})
+	if c.Appends() != 3 || c.TransferAppends() != 2 {
+		t.Fatalf("appends=%d transfers=%d, want 3/2", c.Appends(), c.TransferAppends())
+	}
+}
+
+func TestCLBTinyCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CLB smaller than one entry must panic")
+		}
+	}()
+	NewCLB(10, 72)
+}
+
+// Property: after appending entries with arbitrary tags and deallocating
+// through r, no entry with tag <= r remains and relative order of the rest
+// is preserved.
+func TestCLBDeallocateProperty(t *testing.T) {
+	f := func(tags []uint8, r uint8) bool {
+		c := NewCLB(72*256, 72)
+		for i, tg := range tags {
+			if i >= 256 {
+				break
+			}
+			c.Append(Entry{Addr: uint64(i), Tag: msg.CN(tg)})
+		}
+		c.DeallocateThrough(msg.CN(r))
+		var prev int64 = -1
+		ok := true
+		c.Unroll(func(e Entry) {
+			if e.Tag <= msg.CN(r) {
+				ok = false
+			}
+			// Reverse order: addresses must strictly decrease.
+			if prev >= 0 && int64(e.Addr) >= prev {
+				ok = false
+			}
+			prev = int64(e.Addr)
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShouldLog(t *testing.T) {
+	cases := []struct {
+		blockCN, ccn msg.CN
+		want         bool
+	}{
+		{msg.Null, 3, true}, // null CN: belongs to the recovery point
+		{3, 3, true},        // paper Figure 4: store at CCN=3 to CN=3 logs
+		{4, 3, false},       // paper example: CCN=3 store to CN=4 skips
+		{2, 3, true},
+		{5, 3, false},
+	}
+	for _, c := range cases {
+		if got := ShouldLog(c.blockCN, c.ccn); got != c.want {
+			t.Errorf("ShouldLog(%d, %d) = %v, want %v", c.blockCN, c.ccn, got, c.want)
+		}
+	}
+}
+
+func TestUpdatedCN(t *testing.T) {
+	if UpdatedCN(3) != 4 {
+		t.Fatal("an update-action at CCN=3 belongs to checkpoint 4")
+	}
+}
+
+// Property: ShouldLog is monotone — once a block is updated (CN = CCN+1),
+// further updates in the same interval never log.
+func TestLoggingIdempotentPerInterval(t *testing.T) {
+	f := func(ccn16 uint16) bool {
+		ccn := msg.CN(ccn16)
+		cn := UpdatedCN(ccn)
+		return !ShouldLog(cn, ccn)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEntryFieldsRoundTrip(t *testing.T) {
+	e := Entry{
+		Addr: 0x40, Tag: 7, OldData: 99, OldCN: 6,
+		OldState: cache.Owned, MemEntry: true, OldOwner: 3,
+		OldSharers: 0b1010, HadData: true, Transfer: true,
+	}
+	c := NewCLB(72*2, 72)
+	c.Append(e)
+	c.Unroll(func(got Entry) {
+		if got != e {
+			t.Fatalf("entry mangled: %+v != %+v", got, e)
+		}
+	})
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"testing"
+
+	"safetynet/internal/msg"
+	"safetynet/internal/sim"
+)
+
+// serviceHarness wires a controller to a fake zero-latency network.
+type serviceHarness struct {
+	eng       *sim.Engine
+	ctrl      *Controller
+	sent      []*msg.Message
+	epoch     int
+	quiesces  int
+	unquiesce int
+}
+
+func newServiceHarness(t *testing.T, watchdog sim.Time) *serviceHarness {
+	t.Helper()
+	h := &serviceHarness{eng: sim.NewEngine()}
+	h.ctrl = NewController(h.eng, 0, 4,
+		func(m *msg.Message) { m.Epoch = h.epoch; h.sent = append(h.sent, m) },
+		func() int { return h.epoch },
+		watchdog,
+		Hooks{
+			Quiesce:   func() { h.quiesces++; h.epoch++ },
+			Unquiesce: func() { h.unquiesce++ },
+		})
+	h.ctrl.Activate()
+	return h
+}
+
+func (h *serviceHarness) ready(node int, cn msg.CN) {
+	h.ctrl.Handle(&msg.Message{Type: msg.CkptReady, Src: node, CN: cn, Epoch: h.epoch})
+}
+
+func (h *serviceHarness) sentOfType(t msg.Type) []*msg.Message {
+	var out []*msg.Message
+	for _, m := range h.sent {
+		if m.Type == t {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func TestValidationAdvancesAtMinimum(t *testing.T) {
+	h := newServiceHarness(t, 0)
+	h.ready(0, 3)
+	h.ready(1, 3)
+	h.ready(2, 3)
+	if h.ctrl.RPCN() != 1 {
+		t.Fatalf("RPCN advanced before all nodes ready: %d", h.ctrl.RPCN())
+	}
+	h.ready(3, 2)
+	if h.ctrl.RPCN() != 2 {
+		t.Fatalf("RPCN = %d, want 2 (the minimum)", h.ctrl.RPCN())
+	}
+	bc := h.sentOfType(msg.RPCNBcast)
+	if len(bc) != 4 {
+		t.Fatalf("RPCN broadcast to %d nodes, want 4", len(bc))
+	}
+	h.ready(3, 3)
+	if h.ctrl.RPCN() != 3 {
+		t.Fatalf("RPCN = %d, want 3", h.ctrl.RPCN())
+	}
+	if h.ctrl.Validations() != 2 {
+		t.Fatalf("Validations = %d, want 2", h.ctrl.Validations())
+	}
+}
+
+func TestReadyIsMonotonic(t *testing.T) {
+	h := newServiceHarness(t, 0)
+	for n := 0; n < 4; n++ {
+		h.ready(n, 5)
+	}
+	// A delayed, lower ready report must not regress anything.
+	h.ready(2, 3)
+	if h.ctrl.RPCN() != 5 {
+		t.Fatalf("RPCN = %d, want 5", h.ctrl.RPCN())
+	}
+}
+
+func TestRecoveryRoundTrip(t *testing.T) {
+	h := newServiceHarness(t, 0)
+	for n := 0; n < 4; n++ {
+		h.ready(n, 4)
+	}
+	h.ctrl.Handle(&msg.Message{Type: msg.RecoverReq, Src: 2, Epoch: h.epoch})
+	if !h.ctrl.Recovering() {
+		t.Fatal("RecoverReq must start recovery")
+	}
+	if h.quiesces != 1 {
+		t.Fatal("recovery must quiesce the system")
+	}
+	rec := h.sentOfType(msg.Recover)
+	if len(rec) != 4 || rec[0].CN != 4 {
+		t.Fatalf("Recover broadcast = %v", rec)
+	}
+	// A second report mid-recovery is ignored.
+	h.ctrl.Handle(&msg.Message{Type: msg.RecoverReq, Src: 3, Epoch: h.epoch})
+	if h.quiesces != 1 {
+		t.Fatal("duplicate RecoverReq must not re-quiesce")
+	}
+	// Nodes finish local recovery.
+	for n := 0; n < 4; n++ {
+		if h.ctrl.Recovering() != true {
+			t.Fatal("recovery ended early")
+		}
+		h.ctrl.Handle(&msg.Message{Type: msg.RecoverDone, Src: n, Epoch: h.epoch})
+	}
+	if h.ctrl.Recovering() {
+		t.Fatal("recovery must end after all RecoverDone")
+	}
+	if h.unquiesce != 1 {
+		t.Fatal("restart must unquiesce")
+	}
+	if len(h.sentOfType(msg.Restart)) != 4 {
+		t.Fatal("Restart must broadcast to all nodes")
+	}
+	recs := h.ctrl.Recoveries()
+	if len(recs) != 1 || recs[0].RecoveryPoint != 4 {
+		t.Fatalf("recovery record = %+v", recs)
+	}
+}
+
+func TestStaleEpochIgnored(t *testing.T) {
+	h := newServiceHarness(t, 0)
+	// Pretend a recovery bumped the epoch; pre-recovery coordination
+	// messages still in flight must be ignored.
+	h.epoch = 1
+	h.ctrl.Handle(&msg.Message{Type: msg.CkptReady, Src: 0, CN: 9, Epoch: 0})
+	for n := 0; n < 4; n++ {
+		h.ctrl.Handle(&msg.Message{Type: msg.CkptReady, Src: n, CN: 2, Epoch: 1})
+	}
+	if h.ctrl.RPCN() != 2 {
+		t.Fatalf("RPCN = %d; stale ready(9) should have been dropped", h.ctrl.RPCN())
+	}
+	h.ctrl.Handle(&msg.Message{Type: msg.RecoverReq, Src: 0, Epoch: 0})
+	if h.ctrl.Recovering() {
+		t.Fatal("stale RecoverReq must not trigger recovery")
+	}
+}
+
+func TestWatchdogFiresOnStall(t *testing.T) {
+	h := newServiceHarness(t, 1000)
+	// No validation progress for > 1000 cycles triggers recovery.
+	h.eng.Run(3000)
+	if h.quiesces == 0 {
+		t.Fatal("watchdog did not fire on a stalled recovery point")
+	}
+	recs := h.ctrl.Recovering()
+	if !recs {
+		t.Fatal("watchdog recovery should be in progress")
+	}
+}
+
+func TestWatchdogQuietWhenAdvancing(t *testing.T) {
+	h := newServiceHarness(t, 1000)
+	cn := msg.CN(2)
+	var feed func()
+	feed = func() {
+		for n := 0; n < 4; n++ {
+			h.ready(n, cn)
+		}
+		cn++
+		h.eng.After(400, feed)
+	}
+	h.eng.Schedule(0, feed)
+	h.eng.Run(5000)
+	if h.quiesces != 0 {
+		t.Fatal("watchdog fired despite steady validation progress")
+	}
+}
+
+func TestStandbyTakeover(t *testing.T) {
+	eng := sim.NewEngine()
+	var sentPrimary, sentStandby []*msg.Message
+	epoch := func() int { return 0 }
+	hooks := Hooks{Quiesce: func() {}, Unquiesce: func() {}}
+	primary := NewController(eng, 0, 4, func(m *msg.Message) { sentPrimary = append(sentPrimary, m) }, epoch, 0, hooks)
+	standby := NewController(eng, 2, 4, func(m *msg.Message) { sentStandby = append(sentStandby, m) }, epoch, 0, hooks)
+	primary.Activate()
+	// Both mirror all coordination traffic.
+	for n := 0; n < 4; n++ {
+		m := &msg.Message{Type: msg.CkptReady, Src: n, CN: 3}
+		primary.Handle(m)
+		standby.Handle(m)
+	}
+	if primary.RPCN() != 3 {
+		t.Fatalf("primary RPCN = %d", primary.RPCN())
+	}
+	if len(sentStandby) != 0 {
+		t.Fatal("standby must stay silent")
+	}
+	// Primary dies; standby takes over with mirrored state.
+	primary.Deactivate()
+	standby.Activate()
+	if standby.RPCN() != 3 {
+		t.Fatalf("standby RPCN = %d, want mirrored 3", standby.RPCN())
+	}
+	for n := 0; n < 4; n++ {
+		m := &msg.Message{Type: msg.CkptReady, Src: n, CN: 4}
+		primary.Handle(m)
+		standby.Handle(m)
+	}
+	if standby.RPCN() != 4 {
+		t.Fatalf("standby did not advance: %d", standby.RPCN())
+	}
+	if len(sentStandby) == 0 {
+		t.Fatal("active standby must broadcast")
+	}
+	for _, m := range sentPrimary {
+		if m.Type == msg.RPCNBcast && m.CN == 4 {
+			t.Fatal("deactivated primary must not broadcast")
+		}
+	}
+	// The inactive controller mirrors readiness and computes the
+	// recovery point lazily on activation.
+	standby.Deactivate()
+	primary.Activate()
+	if primary.RPCN() != 4 {
+		t.Fatalf("reactivated primary RPCN = %d, want 4", primary.RPCN())
+	}
+}

@@ -1,0 +1,99 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"safetynet/internal/config"
+	"safetynet/internal/sim"
+	"safetynet/internal/stats"
+)
+
+// Fig6Point is one checkpoint-interval design point: events per 1000
+// instructions (paper Figure 6, log-log).
+type Fig6Point struct {
+	IntervalCycles uint64
+	// Stores and CoherenceReqs are "all stores" and "all coherence
+	// requests".
+	StoresPer1000, CoherencePer1000 float64
+	// StoresCLB and CoherenceCLB are the subsets that appended a CLB
+	// entry.
+	StoresCLBPer1000, CoherenceCLBPer1000 float64
+}
+
+// Fig6Result is the sweep over checkpoint intervals for one workload
+// (the paper uses the static web server; trends match for all).
+type Fig6Result struct {
+	Workload  string
+	Intervals []uint64
+	Points    []Fig6Point
+}
+
+// Fig6Intervals are the sweep points (10k to 1M cycles, log spaced).
+func Fig6Intervals() []uint64 {
+	return []uint64{10_000, 50_000, 100_000, 500_000, 1_000_000}
+}
+
+// Fig6 sweeps the checkpoint interval and measures store/coherence
+// frequencies and how many of each require logging.
+func Fig6(base config.Params, o Options) *Fig6Result {
+	r := &Fig6Result{Workload: "apache", Intervals: Fig6Intervals()}
+	for _, iv := range r.Intervals {
+		p := perturbed(base, o, 0)
+		p.SafetyNetEnabled = true
+		p.CheckpointIntervalCycles = iv
+		// Keep the signoff, detection tolerance and watchdog scaled.
+		p.ValidationSignoffCycles = iv
+		p.ValidationWatchdogCycles = 6 * iv
+		// Long intervals need a window covering several of them.
+		measure := o.Measure
+		if min := sim.Time(4 * iv); measure < min {
+			measure = min
+		}
+		res := Run(RunConfig{Params: p, Workload: r.Workload, Warmup: o.Warmup, Measure: measure})
+		k := float64(res.Instrs) / 1000
+		if k == 0 {
+			k = 1
+		}
+		r.Points = append(r.Points, Fig6Point{
+			IntervalCycles:      iv,
+			StoresPer1000:       float64(res.StoresTotal) / k,
+			CoherencePer1000:    float64(res.CoherenceReqs) / k,
+			StoresCLBPer1000:    float64(res.StoresLogged) / k,
+			CoherenceCLBPer1000: float64(res.TransfersLogged+res.DirLogged) / k,
+		})
+	}
+	return r
+}
+
+// Render prints the four series.
+func (r *Fig6Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 6: Frequencies of Stores and Coherence Requests (" + r.Workload + ")\n")
+	b.WriteString("(events per 1000 instructions vs checkpoint interval)\n\n")
+	header := []string{"interval", "all stores", "all coh reqs", "stores->CLB", "coh reqs->CLB"}
+	var rows [][]string
+	for _, pt := range r.Points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%dk", pt.IntervalCycles/1000),
+			fmt.Sprintf("%.1f", pt.StoresPer1000),
+			fmt.Sprintf("%.1f", pt.CoherencePer1000),
+			fmt.Sprintf("%.2f", pt.StoresCLBPer1000),
+			fmt.Sprintf("%.2f", pt.CoherenceCLBPer1000),
+		})
+	}
+	b.WriteString(stats.Table(header, rows))
+	last := r.Points[len(r.Points)-1]
+	first := r.Points[0]
+	b.WriteString(fmt.Sprintf("\nstores->CLB falloff %.1fx from %dk to %dk cycles (paper: one to two orders of magnitude)\n",
+		safeDiv(first.StoresCLBPer1000, last.StoresCLBPer1000),
+		first.IntervalCycles/1000, last.IntervalCycles/1000))
+	return b.String()
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

@@ -1,0 +1,216 @@
+// Package harness defines one experiment per table and figure of the
+// paper's evaluation (§4): it builds machines, applies fault plans, runs
+// warmup and measurement windows, aggregates perturbed runs into
+// mean ± stddev samples, and renders the same rows and series the paper
+// reports. cmd/snbench and the repository's benchmarks are thin wrappers
+// around this package.
+package harness
+
+import (
+	"fmt"
+
+	"safetynet/internal/cache"
+	"safetynet/internal/config"
+	"safetynet/internal/machine"
+	"safetynet/internal/sim"
+	"safetynet/internal/topology"
+	"safetynet/internal/workload"
+)
+
+// FaultPlan describes fault injection for one run.
+type FaultPlan struct {
+	// DropOnceAt, when nonzero, drops one data-bearing coherence message
+	// at (or after) the given cycle.
+	DropOnceAt sim.Time
+	// DropEvery, when nonzero, drops one message per period starting at
+	// DropStart (Experiment 2: transient faults).
+	DropEvery, DropStart sim.Time
+	// KillSwitchAt, when nonzero, kills the east-west half-switch of
+	// KillSwitchNode at the given cycle (Experiment 3: hard fault).
+	KillSwitchAt   sim.Time
+	KillSwitchNode int
+}
+
+// RunConfig is one simulation run.
+type RunConfig struct {
+	Params   config.Params
+	Workload string
+	// Warmup cycles run before the measurement window opens.
+	Warmup sim.Time
+	// Measure is the measurement-window length.
+	Measure sim.Time
+	Fault   FaultPlan
+}
+
+// RunResult carries everything the experiments report.
+type RunResult struct {
+	Crashed    bool
+	CrashCause string
+
+	// Measurement-window deltas.
+	Cycles uint64
+	Instrs uint64
+	IPC    float64 // aggregate instructions per cycle (all processors)
+
+	StoresTotal     uint64
+	StoresLogged    uint64
+	CoherenceReqs   uint64
+	TransfersLogged uint64
+	DirLogged       uint64
+	Bandwidth       cache.Bandwidth
+	CLBStallCycles  uint64
+
+	Recoveries       int
+	RecoveryCycles   []sim.Time
+	InstrsRolledBack uint64
+
+	CLBPeakBytes int
+	NetSent      uint64
+	NetDropped   uint64
+}
+
+type counters struct {
+	instrs  uint64
+	cs      map[string]uint64
+	bw      cache.Bandwidth
+	netSent uint64
+	rolled  uint64
+}
+
+func snapshot(m *machine.Machine) counters {
+	c := counters{cs: map[string]uint64{}, instrs: m.TotalInstrs(), rolled: m.InstrsRolledBack}
+	for _, n := range m.Nodes {
+		s := n.CC.Stats()
+		c.cs["stores"] += s.Stores
+		c.cs["storesLogged"] += s.StoresLogged
+		c.cs["reqs"] += s.RequestsIssued
+		c.cs["xfer"] += s.TransfersLogged
+		c.cs["clbStall"] += s.CLBStallCycles
+		c.cs["dirLog"] += n.Dir.Stats().EntriesLogged
+		bw := n.CC.Bandwidth()
+		c.bw.HitCycles += bw.HitCycles
+		c.bw.FillCycles += bw.FillCycles
+		c.bw.CoherenceCycles += bw.CoherenceCycles
+		c.bw.LoggingCycles += bw.LoggingCycles
+	}
+	c.netSent = m.Net.Stats().Sent
+	return c
+}
+
+// Run executes one simulation and returns its measured results.
+func Run(rc RunConfig) RunResult {
+	prof, err := workload.ByName(rc.Workload)
+	if err != nil {
+		panic(err)
+	}
+	m := machine.New(rc.Params, prof)
+	applyFaults(m, rc.Fault)
+	m.Start()
+	m.Run(rc.Warmup)
+	if m.Crashed {
+		return RunResult{Crashed: true, CrashCause: m.CrashCause}
+	}
+	before := snapshot(m)
+	m.Run(rc.Warmup + rc.Measure)
+	res := RunResult{}
+	if m.Crashed {
+		res.Crashed = true
+		res.CrashCause = m.CrashCause
+		return res
+	}
+	after := snapshot(m)
+
+	res.Cycles = uint64(rc.Measure)
+	res.Instrs = after.instrs - before.instrs
+	res.IPC = float64(res.Instrs) / float64(rc.Measure)
+	res.StoresTotal = after.cs["stores"] - before.cs["stores"]
+	res.StoresLogged = after.cs["storesLogged"] - before.cs["storesLogged"]
+	res.CoherenceReqs = after.cs["reqs"] - before.cs["reqs"]
+	res.TransfersLogged = after.cs["xfer"] - before.cs["xfer"]
+	res.DirLogged = after.cs["dirLog"] - before.cs["dirLog"]
+	res.CLBStallCycles = after.cs["clbStall"] - before.cs["clbStall"]
+	res.Bandwidth = cache.Bandwidth{
+		HitCycles:       after.bw.HitCycles - before.bw.HitCycles,
+		FillCycles:      after.bw.FillCycles - before.bw.FillCycles,
+		CoherenceCycles: after.bw.CoherenceCycles - before.bw.CoherenceCycles,
+		LoggingCycles:   after.bw.LoggingCycles - before.bw.LoggingCycles,
+	}
+	res.InstrsRolledBack = after.rolled - before.rolled
+	res.NetSent = after.netSent - before.netSent
+	res.NetDropped = m.Net.DroppedTotal()
+
+	if svc := m.ActiveService(); svc != nil {
+		res.Recoveries = len(svc.Recoveries())
+		for _, r := range svc.Recoveries() {
+			res.RecoveryCycles = append(res.RecoveryCycles, r.Duration())
+		}
+	}
+	for _, n := range m.Nodes {
+		if clb := n.CC.CLB(); clb != nil && clb.PeakBytes() > res.CLBPeakBytes {
+			res.CLBPeakBytes = clb.PeakBytes()
+		}
+		if clb := n.Dir.CLB(); clb != nil && clb.PeakBytes() > res.CLBPeakBytes {
+			res.CLBPeakBytes = clb.PeakBytes()
+		}
+	}
+	return res
+}
+
+func applyFaults(m *machine.Machine, f FaultPlan) {
+	if f.DropOnceAt > 0 {
+		m.Net.InjectDropOnce(f.DropOnceAt)
+	}
+	if f.DropEvery > 0 {
+		m.Net.InjectDropEvery(f.DropStart, f.DropEvery)
+	}
+	if f.KillSwitchAt > 0 {
+		m.Net.KillSwitchAt(m.Topo.EWSwitch(f.KillSwitchNode), f.KillSwitchAt)
+	}
+}
+
+// Options sizes an experiment suite run.
+type Options struct {
+	// Runs is the number of perturbed runs per design point (the paper
+	// simulates each point multiple times with pseudo-random latency
+	// perturbations).
+	Runs int
+	// Warmup and Measure are the per-run windows in cycles.
+	Warmup, Measure sim.Time
+	// BaseSeed seeds the perturbation sequence.
+	BaseSeed uint64
+}
+
+// DefaultOptions matches a laptop-scale reproduction: three perturbed
+// runs, one-million-cycle warmup and four-million-cycle measurement.
+func DefaultOptions() Options {
+	return Options{Runs: 3, Warmup: 1_000_000, Measure: 4_000_000, BaseSeed: 1}
+}
+
+// QuickOptions trades precision for speed (single run, short windows).
+func QuickOptions() Options {
+	return Options{Runs: 1, Warmup: 500_000, Measure: 1_500_000, BaseSeed: 1}
+}
+
+// perturbed returns the i-th perturbed copy of p: a distinct seed and a
+// small pseudo-random memory-latency jitter (Alameldeen methodology).
+func perturbed(p config.Params, o Options, i int) config.Params {
+	p.Seed = o.BaseSeed + uint64(i)*7919
+	p.LatencyPerturbation = 4
+	return p
+}
+
+// victimSwitch is the half-switch killed in Experiment 3; node 5's
+// east-west half sits on busy central routes of the 4x4 torus.
+const victimSwitchNode = 5
+
+// VictimSwitch returns the half-switch Experiment 3 kills.
+func VictimSwitch(t *topology.Torus) topology.SwitchID {
+	return t.EWSwitch(victimSwitchNode)
+}
+
+func fmtPct(num, den uint64) string {
+	if den == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2f%%", 100*float64(num)/float64(den))
+}

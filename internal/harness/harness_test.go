@@ -1,0 +1,248 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"safetynet/internal/config"
+	"safetynet/internal/sim"
+)
+
+// tinyOptions keeps harness tests fast while still covering several
+// checkpoint intervals.
+func tinyOptions() Options {
+	return Options{Runs: 1, Warmup: 300_000, Measure: 700_000, BaseSeed: 1}
+}
+
+func TestRunProducesMeasurements(t *testing.T) {
+	p := config.Default()
+	res := Run(RunConfig{Params: p, Workload: "barnes", Warmup: 200_000, Measure: 500_000})
+	if res.Crashed {
+		t.Fatalf("crashed: %s", res.CrashCause)
+	}
+	if res.Instrs == 0 || res.IPC <= 0 {
+		t.Fatalf("no progress measured: %+v", res)
+	}
+	if res.StoresTotal == 0 || res.StoresLogged == 0 {
+		t.Fatal("store counters empty")
+	}
+	if res.Bandwidth.Total() == 0 {
+		t.Fatal("bandwidth counters empty")
+	}
+	if res.CLBPeakBytes == 0 {
+		t.Fatal("CLB peak not tracked")
+	}
+}
+
+func TestRunMeasurementExcludesWarmup(t *testing.T) {
+	p := config.Default()
+	short := Run(RunConfig{Params: p, Workload: "barnes", Warmup: 200_000, Measure: 300_000})
+	long := Run(RunConfig{Params: p, Workload: "barnes", Warmup: 200_000, Measure: 600_000})
+	if long.Instrs <= short.Instrs {
+		t.Fatal("longer window must retire more instructions")
+	}
+	// Warmup cold misses must not leak into the measured miss-heavy
+	// counters: the measured IPC of the longer run should not collapse.
+	if long.IPC < short.IPC*0.5 {
+		t.Fatalf("IPC collapsed between windows: %.3f vs %.3f", long.IPC, short.IPC)
+	}
+}
+
+func TestRunCrashPropagates(t *testing.T) {
+	p := config.Unprotected()
+	res := Run(RunConfig{
+		Params: p, Workload: "barnes", Warmup: 100_000, Measure: 2_000_000,
+		Fault: FaultPlan{DropOnceAt: 300_000},
+	})
+	if !res.Crashed || res.CrashCause == "" {
+		t.Fatalf("expected crash, got %+v", res)
+	}
+}
+
+func TestRunFaultPlans(t *testing.T) {
+	p := config.Default()
+	res := Run(RunConfig{
+		Params: p, Workload: "barnes", Warmup: 200_000, Measure: 1_200_000,
+		Fault: FaultPlan{DropEvery: 400_000, DropStart: 300_000},
+	})
+	if res.Crashed {
+		t.Fatal("protected run crashed")
+	}
+	if res.Recoveries == 0 {
+		t.Fatal("periodic faults caused no recoveries")
+	}
+	if len(res.RecoveryCycles) != res.Recoveries {
+		t.Fatal("recovery latency list inconsistent")
+	}
+}
+
+func TestFig6ShapeMatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r := Fig6(config.Default(), tinyOptions())
+	if len(r.Points) != len(Fig6Intervals()) {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	first, last := r.Points[0], r.Points[len(r.Points)-1]
+	// "All stores" is interval-independent; the logged subset falls by
+	// an order of magnitude or more (paper Figure 6).
+	if ratio := first.StoresPer1000 / last.StoresPer1000; ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("all-stores rate should be flat across intervals, ratio %.2f", ratio)
+	}
+	if first.StoresCLBPer1000 < 4*last.StoresCLBPer1000 {
+		t.Errorf("stores->CLB must fall off strongly: %.2f -> %.2f",
+			first.StoresCLBPer1000, last.StoresCLBPer1000)
+	}
+	for _, pt := range r.Points {
+		if pt.StoresCLBPer1000 > pt.StoresPer1000 {
+			t.Errorf("interval %d: logged stores exceed all stores", pt.IntervalCycles)
+		}
+	}
+	if !strings.Contains(r.Render(), "Figure 6") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFig7LoggingShrinksWithInterval(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r := Fig7(config.Default(), tinyOptions())
+	first, last := r.Points[0], r.Points[len(r.Points)-1]
+	if first.LoggingFrac <= last.LoggingFrac {
+		t.Errorf("logging bandwidth must shrink with interval: %.4f -> %.4f",
+			first.LoggingFrac, last.LoggingFrac)
+	}
+	if first.LoggingFrac > 0.10 {
+		t.Errorf("logging fraction %.3f implausibly high (paper: a few percent at short intervals)", first.LoggingFrac)
+	}
+	for _, pt := range r.Points {
+		sum := pt.HitFrac + pt.FillFrac + pt.CoherenceFrac + pt.LoggingFrac
+		if sum < 0.999 || sum > 1.001 {
+			t.Errorf("fractions sum to %.3f at interval %d", sum, pt.IntervalCycles)
+		}
+	}
+	if !strings.Contains(r.Render(), "Figure 7") {
+		t.Error("render missing title")
+	}
+}
+
+func TestRecoveryExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	o := tinyOptions()
+	o.Measure = 1_500_000
+	r := Recovery(config.Default(), o)
+	if r.Recoveries == 0 {
+		t.Fatal("no recoveries observed")
+	}
+	// The paper's claim: recovery latency well under a millisecond
+	// (1e6 cycles at 1 GHz).
+	if r.CoordCycles.Mean() >= 1e6 {
+		t.Fatalf("recovery coordination %.0f cycles: not sub-millisecond", r.CoordCycles.Mean())
+	}
+	if r.IPCWithFaults <= 0 {
+		t.Fatal("faulty run made no progress")
+	}
+	if !strings.Contains(r.Render(), "Recovery latency") {
+		t.Error("render missing title")
+	}
+}
+
+func TestDetectExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	o := tinyOptions()
+	r := Detect(config.Default(), o)
+	if r.Tolerance != 400_000 {
+		t.Fatalf("tolerance = %d, want 400000", r.Tolerance)
+	}
+	for _, pt := range r.Points {
+		if pt.Crashed {
+			t.Errorf("detection latency %d crashed the protected system", pt.DetectionCycles)
+		}
+		if !pt.Recovered {
+			t.Errorf("detection latency %d: fault never recovered", pt.DetectionCycles)
+		}
+	}
+	if !strings.Contains(r.Render(), "Detection-latency") {
+		t.Error("render missing title")
+	}
+}
+
+func TestVictimSwitchStable(t *testing.T) {
+	_ = sim.Time(0)
+	if victimSwitchNode != 5 {
+		t.Fatal("victim switch changed; update EXPERIMENTS.md")
+	}
+}
+
+func TestPctHelper(t *testing.T) {
+	if got := fmtPct(1, 0); got != "n/a" {
+		t.Fatalf("fmtPct(1,0) = %q", got)
+	}
+	if got := fmtPct(1, 4); got != "25.00%" {
+		t.Fatalf("fmtPct = %q", got)
+	}
+}
+
+func TestFig5ShapeMatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	o := Options{Runs: 1, Warmup: 200_000, Measure: 500_000, BaseSeed: 1}
+	r := Fig5(config.Default(), o)
+	for _, wl := range r.Workloads {
+		if _, _, crashed := r.Normalized(wl, UnprotectedWithFault); !crashed {
+			t.Errorf("%s: unprotected system survived the fault", wl)
+		}
+		mean, _, crashed := r.Normalized(wl, SafetyNetFaultFree)
+		if crashed {
+			t.Errorf("%s: SafetyNet fault-free crashed", wl)
+		}
+		// Short single-run windows are noisy; the paper's claim is
+		// statistical similarity, so just bound the deviation.
+		if mean < 0.80 || mean > 1.25 {
+			t.Errorf("%s: SafetyNet fault-free normalized perf %.3f far from 1.0", wl, mean)
+		}
+		if m, _, c := r.Normalized(wl, SafetyNetTransientFaults); c || m < 0.5 {
+			t.Errorf("%s: transient-fault bar %.3f (crash=%v)", wl, m, c)
+		}
+		if m, _, c := r.Normalized(wl, SafetyNetHardFault); c || m < 0.5 {
+			t.Errorf("%s: hard-fault bar %.3f (crash=%v)", wl, m, c)
+		}
+	}
+	if !strings.Contains(r.Render(), "Figure 5") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFig8BackpressureCliff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	o := Options{Runs: 1, Warmup: 200_000, Measure: 500_000, BaseSeed: 1}
+	r := Fig8(config.Default(), o)
+	big := r.Sizes[0]
+	small := r.Sizes[len(r.Sizes)-1]
+	degraded := 0
+	for _, wl := range r.Workloads {
+		mBig, _ := r.Normalized(wl, big)
+		mSmall, _ := r.Normalized(wl, small)
+		if mBig < 0.99 || mBig > 1.01 {
+			t.Errorf("%s: largest CLB should normalize to 1.0, got %.3f", wl, mBig)
+		}
+		if mSmall < mBig*0.9 {
+			degraded++
+		}
+	}
+	if degraded < 3 {
+		t.Errorf("only %d workloads degraded at the smallest CLB; expected the cliff", degraded)
+	}
+	if !strings.Contains(r.Render(), "Figure 8") {
+		t.Error("render missing title")
+	}
+}

@@ -1,0 +1,69 @@
+package msg
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSize(t *testing.T) {
+	if got := Size(GETS, 64); got != CtrlBytes {
+		t.Errorf("GETS size = %d, want %d", got, CtrlBytes)
+	}
+	for _, ty := range []Type{Data, DataEx, PUTX} {
+		if got := Size(ty, 64); got != 72 {
+			t.Errorf("%v size = %d, want 72 (Table 2: 72-byte entries mirror 8+64)", ty, got)
+		}
+	}
+}
+
+func TestCarriesData(t *testing.T) {
+	dataTypes := map[Type]bool{PUTX: true, Data: true, DataEx: true}
+	all := []Type{GETS, GETX, PUTX, FwdGETS, FwdGETX, Inv, NackReq, WBAck, WBStale,
+		Data, DataEx, AckCount, InvAck, AckDone,
+		CkptReady, RPCNBcast, RecoverReq, Recover, RecoverDone, Restart}
+	for _, ty := range all {
+		if got := ty.CarriesData(); got != dataTypes[ty] {
+			t.Errorf("%v CarriesData = %v, want %v", ty, got, dataTypes[ty])
+		}
+	}
+}
+
+func TestIsCoherence(t *testing.T) {
+	coordination := map[Type]bool{
+		CkptReady: true, RPCNBcast: true, RecoverReq: true,
+		Recover: true, RecoverDone: true, Restart: true,
+	}
+	all := []Type{GETS, GETX, PUTX, FwdGETS, FwdGETX, Inv, NackReq, WBAck, WBStale,
+		Data, DataEx, AckCount, InvAck, AckDone,
+		CkptReady, RPCNBcast, RecoverReq, Recover, RecoverDone, Restart}
+	for _, ty := range all {
+		if got := ty.IsCoherence(); got == coordination[ty] {
+			t.Errorf("%v IsCoherence = %v, want %v", ty, got, !coordination[ty])
+		}
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	if GETS.String() != "GETS" {
+		t.Errorf("GETS.String() = %q", GETS.String())
+	}
+	if !strings.Contains(Type(999).String(), "999") {
+		t.Errorf("unknown type should render its number, got %q", Type(999).String())
+	}
+}
+
+func TestMessageString(t *testing.T) {
+	m := &Message{Type: DataEx, Src: 1, Dst: 2, Addr: 0x1000, CN: 3, Txn: 7}
+	s := m.String()
+	for _, want := range []string{"DataEx", "1->2", "0x1000", "cn=3", "txn=7"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Message.String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestNullCN(t *testing.T) {
+	if Null != 0 {
+		t.Fatal("the null checkpoint number must be the zero value")
+	}
+}

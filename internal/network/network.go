@@ -1,0 +1,330 @@
+// Package network models the 2D-torus interconnection network: source
+// routing over half-switches, per-link bandwidth and contention,
+// store-and-forward hop timing, and the two fault classes of the paper's
+// running examples — a dropped message (transient) and a killed half-switch
+// that loses everything buffered inside it (hard fault).
+package network
+
+import (
+	"fmt"
+
+	"safetynet/internal/config"
+	"safetynet/internal/msg"
+	"safetynet/internal/sim"
+	"safetynet/internal/topology"
+)
+
+// Handler receives messages delivered to a node's network interface.
+type Handler func(*msg.Message)
+
+// DropReason classifies why a message vanished.
+type DropReason int
+
+const (
+	// DropInjectedFault is a deliberately injected transient loss.
+	DropInjectedFault DropReason = iota
+	// DropDeadSwitch means the message arrived at a killed half-switch.
+	DropDeadSwitch
+	// DropStaleEpoch means the message was injected before a recovery and
+	// delivered after it; recovery discards all in-flight coherence state.
+	DropStaleEpoch
+	// DropRecovering means coherence traffic was discarded while the
+	// system was recovering.
+	DropRecovering
+	// DropUnroutable means no route existed (multi-fault partitions).
+	DropUnroutable
+)
+
+// Stats aggregates network activity.
+type Stats struct {
+	Sent       uint64
+	Delivered  uint64
+	Dropped    map[DropReason]uint64
+	Corrupted  uint64
+	Misrouted  uint64
+	Duplicated uint64
+	BytesSent  uint64
+	HopsTotal  uint64
+}
+
+type linkKey struct {
+	from, to int // switch IDs, or -(node+1) for node endpoints
+}
+
+// Network delivers messages between node network interfaces across the
+// torus. It is driven entirely by the simulation engine and is not safe
+// for concurrent use.
+type Network struct {
+	eng      *sim.Engine
+	topo     *topology.Torus
+	p        config.Params
+	handlers []Handler
+	busy     map[linkKey]sim.Time
+
+	epoch      int
+	recovering bool
+
+	dropRules []func(*msg.Message) bool
+	onDrop    func(*msg.Message, DropReason)
+
+	stats Stats
+}
+
+// New builds a network over the given torus using the timing parameters in
+// p. Handlers start nil; Attach them before sending.
+func New(eng *sim.Engine, topo *topology.Torus, p config.Params) *Network {
+	return &Network{
+		eng:      eng,
+		topo:     topo,
+		p:        p,
+		handlers: make([]Handler, topo.Nodes()),
+		busy:     make(map[linkKey]sim.Time),
+		stats:    Stats{Dropped: make(map[DropReason]uint64)},
+	}
+}
+
+// Attach registers the delivery handler for node n.
+func (nw *Network) Attach(n int, h Handler) { nw.handlers[n] = h }
+
+// Topology exposes the underlying torus (for killing switches and
+// inspecting reconfiguration).
+func (nw *Network) Topology() *topology.Torus { return nw.topo }
+
+// Stats returns a copy of the accumulated statistics.
+func (nw *Network) Stats() Stats {
+	s := nw.stats
+	s.Dropped = make(map[DropReason]uint64, len(nw.stats.Dropped))
+	for k, v := range nw.stats.Dropped {
+		s.Dropped[k] = v
+	}
+	return s
+}
+
+// DroppedTotal sums drops across all reasons.
+func (nw *Network) DroppedTotal() uint64 {
+	var t uint64
+	for _, v := range nw.stats.Dropped {
+		t += v
+	}
+	return t
+}
+
+// Epoch returns the current recovery epoch. Coherence messages injected in
+// an earlier epoch are discarded on delivery.
+func (nw *Network) Epoch() int { return nw.epoch }
+
+// BumpEpoch starts a new recovery epoch; every in-flight coherence message
+// becomes stale. SafetyNet recovery calls this to model draining the
+// interconnect (paper §3.6 step one).
+func (nw *Network) BumpEpoch() { nw.epoch++ }
+
+// SetRecovering toggles recovery mode: while set, newly injected coherence
+// messages are discarded at the source (the protocol is quiesced), while
+// system-coordination messages still flow.
+func (nw *Network) SetRecovering(r bool) { nw.recovering = r }
+
+// OnDrop installs a callback invoked for every dropped message, after
+// statistics are updated. Useful for tests and fault logging.
+func (nw *Network) OnDrop(f func(*msg.Message, DropReason)) { nw.onDrop = f }
+
+// AddDropRule installs a predicate consulted at injection; returning true
+// silently drops the message (a transient interconnect fault). Rules are
+// responsible for their own arming/disarming state.
+func (nw *Network) AddDropRule(f func(*msg.Message) bool) {
+	nw.dropRules = append(nw.dropRules, f)
+}
+
+// InjectDropEvery arms a periodic transient fault: starting at cycle
+// start, the first data-bearing coherence message sent at or after each
+// multiple of period is dropped. This reproduces the paper's Experiment 2
+// (one dropped message every 100 million cycles = ten per second at 1 GHz).
+// It returns a disarm function.
+func (nw *Network) InjectDropEvery(start, period sim.Time) func() {
+	next := start
+	armed := true
+	nw.AddDropRule(func(m *msg.Message) bool {
+		if !armed || nw.eng.Now() < next || !m.Type.IsCoherence() {
+			return false
+		}
+		if !m.Type.CarriesData() {
+			return false // drop a data response: the highest-impact loss
+		}
+		next = nw.eng.Now() + period
+		return true
+	})
+	return func() { armed = false }
+}
+
+// InjectCorruptOnce arms a one-shot corruption fault: the first
+// data-bearing coherence message sent at or after cycle at is damaged in
+// flight. It is still delivered — the endpoint's error-detecting code
+// (the paper's CRC example) discovers the damage and reports the fault.
+func (nw *Network) InjectCorruptOnce(at sim.Time) {
+	fired := false
+	nw.AddDropRule(func(m *msg.Message) bool {
+		if fired || nw.eng.Now() < at || !m.Type.IsCoherence() || !m.Type.CarriesData() {
+			return false
+		}
+		fired = true
+		m.Corrupted = true
+		m.Data ^= 0xdeadbeef // the damage an ECC-less endpoint would consume
+		nw.stats.Corrupted++
+		return false // delivered, not dropped
+	})
+}
+
+// InjectMisrouteOnce arms a one-shot misrouting fault (paper §5.1): the
+// first data-bearing coherence message sent at or after cycle at is
+// delivered to the wrong node. The bogus endpoint discards it as
+// unexpected and the true requestor's timeout converts the loss into a
+// recovery.
+func (nw *Network) InjectMisrouteOnce(at sim.Time) {
+	fired := false
+	nw.AddDropRule(func(m *msg.Message) bool {
+		if fired || nw.eng.Now() < at || !m.Type.IsCoherence() || !m.Type.CarriesData() {
+			return false
+		}
+		fired = true
+		m.Dst = (m.Dst + 1) % len(nw.handlers)
+		nw.stats.Misrouted++
+		return false // delivered — to the wrong place
+	})
+}
+
+// InjectDuplicateOnce arms a one-shot duplication fault (paper §5.1's
+// protocol-engine soft fault): the first eligible coherence message sent
+// at or after cycle at is delivered twice. The protocol's transaction
+// matching must absorb the duplicate.
+func (nw *Network) InjectDuplicateOnce(at sim.Time) {
+	fired := false
+	nw.AddDropRule(func(m *msg.Message) bool {
+		if fired || nw.eng.Now() < at || !m.Type.IsCoherence() {
+			return false
+		}
+		fired = true
+		nw.stats.Duplicated++
+		copy := *m
+		// Re-inject the copy after this send completes; drop rules are
+		// consulted again but fired is already set.
+		nw.eng.After(1, func() { nw.Send(&copy) })
+		return false
+	})
+}
+
+// InjectDropOnce arms a one-shot transient fault at cycle at.
+func (nw *Network) InjectDropOnce(at sim.Time) {
+	fired := false
+	nw.AddDropRule(func(m *msg.Message) bool {
+		if fired || nw.eng.Now() < at || !m.Type.IsCoherence() || !m.Type.CarriesData() {
+			return false
+		}
+		fired = true
+		return true
+	})
+}
+
+// KillSwitchAt schedules the hard fault of the paper's Experiment 3: at
+// cycle at, half-switch s dies, losing all messages buffered in it (any
+// in-flight message that reaches s afterwards is dropped) and forcing
+// routes computed later to detour around it.
+func (nw *Network) KillSwitchAt(s topology.SwitchID, at sim.Time) {
+	nw.eng.Schedule(at, func() { nw.topo.Kill(s) })
+}
+
+// Send injects m into the network. Delivery is scheduled through the
+// engine; the handler of m.Dst eventually receives the message unless a
+// fault, a recovery, or a stale epoch eats it.
+func (nw *Network) Send(m *msg.Message) {
+	if nw.handlers[m.Dst] == nil {
+		panic(fmt.Sprintf("network: no handler attached to node %d", m.Dst))
+	}
+	m.Epoch = nw.epoch
+	nw.stats.Sent++
+	size := msg.Size(m.Type, nw.p.BlockBytes)
+	nw.stats.BytesSent += uint64(size)
+
+	if nw.recovering && m.Type.IsCoherence() {
+		nw.drop(m, DropRecovering)
+		return
+	}
+	for _, rule := range nw.dropRules {
+		if rule(m) {
+			nw.drop(m, DropInjectedFault)
+			return
+		}
+	}
+
+	if m.Src == m.Dst {
+		// Local traffic bypasses the torus through the node's own
+		// network interface.
+		nw.eng.After(sim.Time(nw.p.SwitchHopCycles), func() { nw.deliver(m) })
+		return
+	}
+
+	route := nw.topo.Route(m.Src, m.Dst)
+	if route == nil {
+		nw.drop(m, DropUnroutable)
+		return
+	}
+	ser := sim.Time(nw.p.SerializationCycles(size))
+	depart := nw.occupy(linkKey{-(m.Src + 1), int(route[0])}, ser)
+	arrive := depart + ser + sim.Time(nw.p.SwitchHopCycles)
+	nw.eng.Schedule(arrive, func() { nw.hop(m, route, 0, ser) })
+}
+
+// hop runs when m arrives at route[idx].
+func (nw *Network) hop(m *msg.Message, route []topology.SwitchID, idx int, ser sim.Time) {
+	nw.stats.HopsTotal++
+	cur := route[idx]
+	if !nw.topo.Alive(cur) {
+		nw.drop(m, DropDeadSwitch)
+		return
+	}
+	var link linkKey
+	last := idx == len(route)-1
+	if last {
+		link = linkKey{int(cur), -(m.Dst + 1)}
+	} else {
+		link = linkKey{int(cur), int(route[idx+1])}
+	}
+	depart := nw.occupy(link, ser)
+	arrive := depart + ser + sim.Time(nw.p.SwitchHopCycles)
+	if last {
+		nw.eng.Schedule(arrive, func() { nw.deliver(m) })
+		return
+	}
+	nw.eng.Schedule(arrive, func() { nw.hop(m, route, idx+1, ser) })
+}
+
+// occupy reserves a link for ser cycles starting no earlier than now and
+// returns the departure time.
+func (nw *Network) occupy(l linkKey, ser sim.Time) sim.Time {
+	depart := nw.eng.Now()
+	if b, ok := nw.busy[l]; ok && b > depart {
+		depart = b
+	}
+	nw.busy[l] = depart + ser
+	return depart
+}
+
+func (nw *Network) deliver(m *msg.Message) {
+	if m.Type.IsCoherence() {
+		if m.Epoch != nw.epoch {
+			nw.drop(m, DropStaleEpoch)
+			return
+		}
+		if nw.recovering {
+			nw.drop(m, DropRecovering)
+			return
+		}
+	}
+	nw.stats.Delivered++
+	nw.handlers[m.Dst](m)
+}
+
+func (nw *Network) drop(m *msg.Message, r DropReason) {
+	nw.stats.Dropped[r]++
+	if nw.onDrop != nil {
+		nw.onDrop(m, r)
+	}
+}

@@ -1,0 +1,176 @@
+package proc
+
+import (
+	"testing"
+
+	"safetynet/internal/config"
+	"safetynet/internal/iodev"
+	"safetynet/internal/msg"
+	"safetynet/internal/network"
+	"safetynet/internal/protocol"
+	"safetynet/internal/sim"
+	"safetynet/internal/topology"
+	"safetynet/internal/workload"
+)
+
+// rig wires one processor to a real 4-node memory system.
+type rig struct {
+	eng *sim.Engine
+	pr  *Processor
+	cc  *protocol.CacheController
+	out *iodev.OutputBuffer
+	gen *workload.Synthetic
+}
+
+func newRig(t *testing.T, prof workload.Profile, seed uint64) *rig {
+	t.Helper()
+	p := config.Default()
+	p.NumNodes = 4
+	p.TorusWidth, p.TorusHeight = 2, 2
+	p.L1Bytes = 4 << 10
+	p.L2Bytes = 16 << 10
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine()
+	nw := network.New(eng, topology.New(2, 2), p)
+	home := protocol.InterleavedHome(p.BlockBytes, p.NumNodes)
+	var ccs []*protocol.CacheController
+	var dirs []*protocol.DirController
+	for n := 0; n < 4; n++ {
+		ccs = append(ccs, protocol.NewCacheController(n, eng, nw, p, home))
+		dirs = append(dirs, protocol.NewDirController(n, eng, nw, p))
+	}
+	for n := 0; n < 4; n++ {
+		n := n
+		nw.Attach(n, func(m *msg.Message) {
+			switch m.Type {
+			case msg.GETS, msg.GETX, msg.PUTX, msg.AckDone:
+				dirs[n].Handle(m)
+			default:
+				ccs[n].Handle(m)
+			}
+		})
+	}
+	gen := workload.NewSynthetic(prof, 0, seed)
+	out := iodev.NewOutputBuffer()
+	pr := New(0, eng, p, ccs[0], gen, out)
+	return &rig{eng: eng, pr: pr, cc: ccs[0], out: out, gen: gen}
+}
+
+func TestProcessorMakesProgress(t *testing.T) {
+	r := newRig(t, workload.Barnes(), 1)
+	r.pr.Start()
+	r.eng.Run(100_000)
+	if r.pr.Instrs() == 0 {
+		t.Fatal("no instructions retired")
+	}
+	if r.pr.Stats().MemRefs == 0 {
+		t.Fatal("no memory references issued")
+	}
+	// The blocking core with a realistic workload retires well below
+	// peak IPC but must be in a plausible band.
+	ipc := float64(r.pr.Instrs()) / 100_000
+	if ipc < 0.01 || ipc > 4.0 {
+		t.Fatalf("IPC = %.2f outside plausible band", ipc)
+	}
+}
+
+func TestPauseStopsProgress(t *testing.T) {
+	r := newRig(t, workload.Barnes(), 2)
+	r.pr.Start()
+	r.eng.Run(20_000)
+	r.pr.Pause()
+	r.eng.Run(25_000) // drain the in-flight op
+	frozen := r.pr.Instrs()
+	r.eng.Run(60_000)
+	if r.pr.Instrs() != frozen {
+		t.Fatal("paused processor retired instructions")
+	}
+	r.pr.Resume()
+	r.eng.Run(100_000)
+	if r.pr.Instrs() <= frozen {
+		t.Fatal("resumed processor made no progress")
+	}
+}
+
+func TestResumeIdempotent(t *testing.T) {
+	r := newRig(t, workload.Barnes(), 3)
+	r.pr.Start()
+	r.pr.Resume() // second resume must not double-schedule
+	r.pr.Resume()
+	r.eng.Run(50_000)
+	if !r.pr.Running() {
+		t.Fatal("processor should be running")
+	}
+}
+
+func TestSnapshotRestoreReplaysDeterministically(t *testing.T) {
+	r := newRig(t, workload.Barnes(), 4)
+	r.pr.Start()
+	r.eng.Run(30_000)
+	r.pr.Pause()
+	r.eng.Run(25_000)
+	snap := r.pr.Snapshot()
+	instrs := r.pr.Instrs()
+
+	r.pr.Resume()
+	r.eng.Run(80_000)
+	if r.pr.Instrs() <= instrs {
+		t.Fatal("no forward progress")
+	}
+
+	r.pr.Restore(snap)
+	if r.pr.Instrs() != instrs {
+		t.Fatalf("Instrs after restore = %d, want %d", r.pr.Instrs(), instrs)
+	}
+	if r.pr.Running() {
+		t.Fatal("restored processor must stay paused until restart")
+	}
+	r.pr.Resume()
+	r.eng.Run(r.eng.Now() + 50_000)
+	if r.pr.Instrs() <= instrs {
+		t.Fatal("re-execution made no progress")
+	}
+}
+
+func TestCheckpointStallCharged(t *testing.T) {
+	r := newRig(t, workload.Barnes(), 5)
+	r.pr.Start()
+	r.pr.AddCheckpointStall()
+	r.pr.AddCheckpointStall()
+	r.eng.Run(50_000)
+	if got := r.pr.Stats().CkptStallCycles; got != 200 {
+		t.Fatalf("CkptStallCycles = %d, want 200", got)
+	}
+}
+
+func TestIOOpsReachOutputBuffer(t *testing.T) {
+	prof := workload.Barnes()
+	prof.IOPer100k = 2000 // frequent, to be observable
+	r := newRig(t, prof, 6)
+	r.pr.Start()
+	r.eng.Run(300_000)
+	if r.pr.Stats().IOOps == 0 {
+		t.Skip("workload generated no I/O in window")
+	}
+	if r.out.PendingCount() == 0 && len(r.out.Released()) == 0 {
+		t.Fatal("I/O ops did not reach the output buffer")
+	}
+}
+
+func TestStaleCallbacksIgnoredAfterRestore(t *testing.T) {
+	// A restore mid-operation abandons the in-flight op: its completion
+	// callback must not corrupt the restored instruction count.
+	r := newRig(t, workload.Stress(), 7)
+	r.pr.Start()
+	r.eng.Run(5_000)
+	snap := r.pr.Snapshot()
+	instrs := r.pr.Instrs()
+	// Restore while an operation is likely in flight.
+	r.pr.Restore(snap)
+	r.eng.Run(30_000) // stale callbacks fire harmlessly
+	if r.pr.Instrs() != instrs {
+		t.Fatalf("stale callback mutated state: %d != %d", r.pr.Instrs(), instrs)
+	}
+}

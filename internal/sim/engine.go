@@ -1,0 +1,159 @@
+// Package sim provides the deterministic discrete-event simulation engine
+// that drives every timed component in the SafetyNet model: processors,
+// cache and directory controllers, network switches, the checkpoint clock,
+// and the service controllers.
+//
+// The engine is single-threaded and fully deterministic: events scheduled
+// for the same cycle fire in FIFO order of scheduling, so two runs with the
+// same seed produce bit-identical results. Determinism matters here beyond
+// reproducibility — SafetyNet recovery re-executes work from a restored
+// checkpoint, and the tests compare re-executed state against reference
+// executions.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is the simulation clock in processor cycles (1 cycle = 1 ns at the
+// paper's 1 GHz target frequency).
+type Time uint64
+
+// Event is a callback scheduled to fire at a specific cycle.
+type Event func()
+
+type scheduledEvent struct {
+	at     Time
+	seq    uint64 // FIFO tie-break for events at the same cycle
+	fn     Event
+	cancel *bool // optional cancellation flag; nil means not cancelable
+}
+
+type eventQueue []*scheduledEvent
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*scheduledEvent)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; use
+// NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	stopped bool
+	// Executed counts events dispatched since construction; useful for
+	// detecting livelock in stress tests.
+	executed uint64
+}
+
+// NewEngine returns an engine with an empty event queue at cycle 0.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.queue)
+	return e
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Executed returns the number of events dispatched so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Pending returns the number of events waiting in the queue.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// Schedule registers fn to run at absolute cycle at. Scheduling in the past
+// panics: it always indicates a model bug, and silently reordering time
+// would corrupt the checkpoint-coordination logic.
+func (e *Engine) Schedule(at Time, fn Event) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, &scheduledEvent{at: at, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run delay cycles from now.
+func (e *Engine) After(delay Time, fn Event) {
+	e.Schedule(e.now+delay, fn)
+}
+
+// Canceler cancels a previously scheduled event. Calling it after the event
+// has fired is a harmless no-op.
+type Canceler func()
+
+// ScheduleCancelable is like Schedule but returns a Canceler. It is used for
+// timeout events that are usually canceled (transaction timeouts fire only
+// when a fault ate the response).
+func (e *Engine) ScheduleCancelable(at Time, fn Event) Canceler {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", at, e.now))
+	}
+	canceled := false
+	e.seq++
+	heap.Push(&e.queue, &scheduledEvent{at: at, seq: e.seq, fn: fn, cancel: &canceled})
+	return func() { canceled = true }
+}
+
+// Stop makes Run return after the currently dispatching event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// Run dispatches events in time order until the queue empties, Stop is
+// called, or the clock would pass until. Events scheduled exactly at until
+// still run. It returns the time of the last dispatched event (or the
+// starting time if nothing ran).
+func (e *Engine) Run(until Time) Time {
+	e.stopped = false
+	for e.queue.Len() > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&e.queue)
+		if next.cancel != nil && *next.cancel {
+			continue
+		}
+		e.now = next.at
+		e.executed++
+		next.fn()
+	}
+	if e.now < until && !e.stopped {
+		// No event remains at or before until (the queue is empty or its
+		// head lies beyond); advance the clock so callers observe that
+		// the interval elapsed.
+		e.now = until
+	}
+	return e.now
+}
+
+// Drain discards every pending event. SafetyNet recovery uses this to model
+// draining the interconnect and discarding in-flight transaction state;
+// callers must immediately reschedule the periodic machinery (checkpoint
+// clock, processor restart) afterwards.
+func (e *Engine) Drain() {
+	e.queue = e.queue[:0]
+	heap.Init(&e.queue)
+}

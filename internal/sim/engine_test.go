@@ -1,0 +1,183 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdersByTime(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	e.Run(100)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events out of order: %v", order)
+	}
+	if e.Now() != 100 {
+		t.Fatalf("clock should advance to until when idle, got %d", e.Now())
+	}
+}
+
+func TestEngineFIFOTieBreak(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	e.Run(5)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-cycle events must fire in scheduling order, got %v", order)
+		}
+	}
+}
+
+func TestEngineRunUntilBoundary(t *testing.T) {
+	e := NewEngine()
+	ran := map[Time]bool{}
+	e.Schedule(10, func() { ran[10] = true })
+	e.Schedule(11, func() { ran[11] = true })
+	e.Run(10)
+	if !ran[10] {
+		t.Fatal("event at the until boundary must run")
+	}
+	if ran[11] {
+		t.Fatal("event past the boundary must not run")
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	e.Run(11)
+	if !ran[11] {
+		t.Fatal("resumed run must dispatch the remaining event")
+	}
+}
+
+func TestEngineSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(50, func() {})
+	e.Run(50)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past must panic")
+		}
+	}()
+	e.Schedule(10, func() {})
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 5 {
+			e.After(7, tick)
+		}
+	}
+	e.Schedule(0, tick)
+	e.Run(1000)
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if e.Executed() != 5 {
+		t.Fatalf("executed = %d, want 5", e.Executed())
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.Schedule(1, func() { ran++; e.Stop() })
+	e.Schedule(2, func() { ran++ })
+	e.Run(10)
+	if ran != 1 {
+		t.Fatalf("ran = %d, want 1 (Stop must halt dispatch)", ran)
+	}
+	if !e.Stopped() {
+		t.Fatal("Stopped() must report true after Stop")
+	}
+}
+
+func TestEngineCancelable(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	cancel := e.ScheduleCancelable(10, func() { fired = true })
+	cancel()
+	e.Run(20)
+	if fired {
+		t.Fatal("canceled event must not fire")
+	}
+	// Canceling twice, or after the window, is harmless.
+	cancel()
+
+	fired2 := false
+	c2 := e.ScheduleCancelable(30, func() { fired2 = true })
+	e.Run(40)
+	if !fired2 {
+		t.Fatal("non-canceled event must fire")
+	}
+	c2() // after firing: no-op
+}
+
+func TestEngineDrain(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.Schedule(5, func() { fired = true })
+	e.Schedule(6, func() { fired = true })
+	e.Drain()
+	if e.Pending() != 0 {
+		t.Fatalf("pending after drain = %d, want 0", e.Pending())
+	}
+	e.Run(10)
+	if fired {
+		t.Fatal("drained events must not fire")
+	}
+	// The engine remains usable after a drain.
+	ok := false
+	e.Schedule(20, func() { ok = true })
+	e.Run(20)
+	if !ok {
+		t.Fatal("engine must accept events after drain")
+	}
+}
+
+// Property: for any set of (time, id) pairs, dispatch order is sorted by
+// time with FIFO tie-break.
+func TestEngineDispatchOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		e := NewEngine()
+		type rec struct {
+			at  Time
+			seq int
+		}
+		var got []rec
+		for i, d := range delays {
+			at := Time(d)
+			i := i
+			e.Schedule(at, func() { got = append(got, rec{at, i}) })
+		}
+		e.Run(1 << 20)
+		if len(got) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i-1].at > got[i].at {
+				return false
+			}
+			if got[i-1].at == got[i].at && got[i-1].seq > got[i].seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must yield the same sequence")
+		}
+	}
+}
+
+func TestRandSnapshotRestore(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 10; i++ {
+		r.Uint64()
+	}
+	snap := r.Snapshot()
+	first := make([]uint64, 20)
+	for i := range first {
+		first[i] = r.Uint64()
+	}
+	r.Restore(snap)
+	for i := range first {
+		if got := r.Uint64(); got != first[i] {
+			t.Fatalf("replay diverged at %d: got %d want %d", i, got, first[i])
+		}
+	}
+}
+
+func TestRandIntnRange(t *testing.T) {
+	r := NewRand(1)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(2)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRandIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) must panic")
+		}
+	}()
+	NewRand(0).Intn(0)
+}
+
+func TestRandRoughUniformity(t *testing.T) {
+	r := NewRand(99)
+	const buckets, n = 8, 80000
+	counts := make([]int, buckets)
+	for i := 0; i < n; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	want := n / buckets
+	for b, c := range counts {
+		if c < want*8/10 || c > want*12/10 {
+			t.Fatalf("bucket %d count %d deviates >20%% from %d", b, c, want)
+		}
+	}
+}
+
+// Property: snapshot/restore is an exact replay for arbitrary prefixes.
+func TestRandReplayProperty(t *testing.T) {
+	f := func(seed uint64, skip uint8, n uint8) bool {
+		r := NewRand(seed)
+		for i := 0; i < int(skip); i++ {
+			r.Uint64()
+		}
+		s := r.Snapshot()
+		seq := make([]uint64, n)
+		for i := range seq {
+			seq[i] = r.Uint64()
+		}
+		r.Restore(s)
+		for i := range seq {
+			if r.Uint64() != seq[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,349 @@
+package snoop
+
+import (
+	"fmt"
+
+	"safetynet/internal/cache"
+	"safetynet/internal/msg"
+	"safetynet/internal/sim"
+	"safetynet/internal/workload"
+)
+
+// Config sizes the snooping system.
+type Config struct {
+	Nodes          int
+	L2Sets, L2Ways int
+	CLBBytes       int
+	// CheckpointInterval is the logical-time checkpoint period in bus
+	// slots (the §2.3 "every K logical cycles").
+	CheckpointInterval uint64
+	MaxOutstanding     int
+	BusOccupancy       sim.Time
+	DataLatency        sim.Time
+	TimeoutCycles      sim.Time
+	WatchdogCycles     sim.Time
+	Seed               uint64
+}
+
+// DefaultConfig returns an 8-node snooping system.
+func DefaultConfig() Config {
+	return Config{
+		Nodes:  8,
+		L2Sets: 64, L2Ways: 4,
+		CLBBytes:           256 << 10,
+		CheckpointInterval: 128,
+		MaxOutstanding:     4,
+		BusOccupancy:       12,
+		DataLatency:        40,
+		TimeoutCycles:      8_000,
+		WatchdogCycles:     120_000,
+	}
+}
+
+// Validate reports the first configuration error.
+func (c Config) Validate() error {
+	switch {
+	case c.Nodes < 2:
+		return fmt.Errorf("snoop: need at least 2 nodes")
+	case c.L2Sets <= 0 || c.L2Ways <= 0:
+		return fmt.Errorf("snoop: bad cache geometry")
+	case c.CLBBytes < 144:
+		return fmt.Errorf("snoop: CLB too small")
+	case c.CheckpointInterval == 0:
+		return fmt.Errorf("snoop: zero checkpoint interval")
+	case c.MaxOutstanding < 1:
+		return fmt.Errorf("snoop: need outstanding checkpoints")
+	case c.BusOccupancy == 0 || c.DataLatency == 0:
+		return fmt.Errorf("snoop: zero latencies")
+	case c.TimeoutCycles == 0 || c.WatchdogCycles <= c.TimeoutCycles:
+		return fmt.Errorf("snoop: detection latencies inconsistent")
+	}
+	return nil
+}
+
+// System is a complete snooping SafetyNet machine.
+type System struct {
+	cfg   Config
+	eng   *sim.Engine
+	bus   *Bus
+	nodes []*Node
+
+	rpcn        msg.CN
+	lastAdvance sim.Time
+	recovering  bool
+	dataEpoch   int
+
+	dropNextData bool
+	dropped      uint64
+
+	// Recoveries counts completed recoveries.
+	Recoveries int
+	// Validations counts recovery-point advances.
+	Validations uint64
+}
+
+// New builds the system with every processor running the given workload.
+func New(cfg Config, prof workload.Profile) *System {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	s := &System{cfg: cfg, eng: sim.NewEngine(), rpcn: 1}
+	s.bus = NewBus(s.eng, cfg.BusOccupancy)
+	for i := 0; i < cfg.Nodes; i++ {
+		s.nodes = append(s.nodes, newNode(i, s, prof))
+	}
+	// A single fan-out snooper: snapshot whether any cache owns the
+	// block before anyone processes the slot, so exactly one agent
+	// (owner or home bank) responds regardless of node iteration order.
+	s.bus.Attach(func(r *Request) { s.dispatch(r) })
+	s.armWatchdog()
+	return s
+}
+
+// Engine exposes the simulation engine.
+func (s *System) Engine() *sim.Engine { return s.eng }
+
+// RPCN returns the recovery point.
+func (s *System) RPCN() msg.CN { return s.rpcn }
+
+// Nodes returns the node list (for tests).
+func (s *System) Nodes() []*Node { return s.nodes }
+
+func (s *System) home(addr uint64) int { return int((addr / 64) % uint64(s.cfg.Nodes)) }
+
+func (s *System) anyCacheOwner(addr uint64) bool {
+	for _, n := range s.nodes {
+		if n.ownsNow(addr) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *System) dispatch(r *Request) {
+	// The wired-OR snoop response: evaluated once per slot.
+	hadOwner := s.anyCacheOwner(r.Addr)
+	home := s.home(r.Addr)
+	for _, n := range s.nodes {
+		n.snoopWith(r, hadOwner, home)
+	}
+}
+
+// sendData models the unordered point-to-point data network; this is
+// where the transient fault (a dropped data response) lives.
+func (s *System) sendData(from, to int, addr, data uint64, cn msg.CN, slot uint64) {
+	if s.dropNextData {
+		s.dropNextData = false
+		s.dropped++
+		return
+	}
+	ep := s.dataEpoch
+	s.eng.After(s.cfg.DataLatency, func() {
+		if ep != s.dataEpoch {
+			return // discarded by a recovery
+		}
+		s.nodes[to].dataArrived(addr, data, cn)
+	})
+}
+
+// DropNextDataResponse arms the transient fault: the next data response
+// vanishes in the interconnect.
+func (s *System) DropNextDataResponse() { s.dropNextData = true }
+
+// Dropped returns injected losses so far.
+func (s *System) Dropped() uint64 { return s.dropped }
+
+// Start launches the processors.
+func (s *System) Start() {
+	for _, n := range s.nodes {
+		n.running = true
+		n.step()
+	}
+}
+
+// Run advances the simulation.
+func (s *System) Run(until sim.Time) sim.Time { return s.eng.Run(until) }
+
+// TotalInstrs sums durable retired instructions.
+func (s *System) TotalInstrs() uint64 {
+	var t uint64
+	for _, n := range s.nodes {
+		t += n.instrs
+	}
+	return t
+}
+
+// onEdge re-evaluates validation whenever logical time advances.
+func (s *System) onEdge(*Node) { s.tryValidate() }
+
+// txnDone re-evaluates validation when a transaction completes.
+func (s *System) txnDone(*Node) { s.tryValidate() }
+
+// tryValidate advances the recovery point to the minimum checkpoint every
+// node is ready to validate. Coordination latency is modeled as a small
+// fixed delay (a real system exchanges messages; the snooping variant
+// focuses on the logical-time base).
+func (s *System) tryValidate() {
+	if s.recovering {
+		return
+	}
+	min := s.nodes[0].ready()
+	for _, n := range s.nodes[1:] {
+		if r := n.ready(); r < min {
+			min = r
+		}
+	}
+	if min <= s.rpcn {
+		return
+	}
+	s.rpcn = min
+	s.Validations++
+	s.lastAdvance = s.eng.Now()
+	for _, n := range s.nodes {
+		n.clb.DeallocateThrough(min)
+		n.memCLB.DeallocateThrough(min)
+		n.ring.DropBelow(min)
+		if !n.running && !s.recovering && int(n.ccn-min) <= s.cfg.MaxOutstanding {
+			n.running = true
+			n.step()
+		}
+	}
+}
+
+func (s *System) armWatchdog() {
+	s.eng.After(s.cfg.WatchdogCycles/2, func() {
+		if !s.recovering && s.eng.Now()-s.lastAdvance > s.cfg.WatchdogCycles {
+			s.Recover()
+		}
+		s.armWatchdog()
+	})
+}
+
+// Recover rolls the whole system back to the recovery point: discard the
+// bus queue and in-flight data, unroll every CLB, restore registers, and
+// resume (paper §3.6, on the snooping substrate).
+func (s *System) Recover() {
+	if s.recovering {
+		return
+	}
+	s.recovering = true
+	s.bus.BumpEpoch()
+	s.dataEpoch++
+	rpcn := s.rpcn
+	// Modeled drain + per-node unroll + restart barrier.
+	s.eng.After(2_000, func() {
+		for _, n := range s.nodes {
+			n.recoverTo(rpcn)
+		}
+		s.bus.ResetSlots(rpcn, s.cfg.CheckpointInterval)
+		s.eng.After(1_000, func() {
+			s.recovering = false
+			s.lastAdvance = s.eng.Now()
+			s.Recoveries++
+			for _, n := range s.nodes {
+				n.running = true
+				n.step()
+			}
+		})
+	})
+}
+
+// ---------------------------------------------------------------------
+// Verification helpers
+// ---------------------------------------------------------------------
+
+// ArchValues returns the per-address architectural value: the cache
+// owner's copy, else the home bank's image. Call at quiescence.
+func (s *System) ArchValues() map[uint64]uint64 {
+	out := make(map[uint64]uint64)
+	touched := make(map[uint64]bool)
+	for _, n := range s.nodes {
+		n.l2.ForEachValid(func(l *cache.Line) { touched[l.Addr] = true })
+		for a := range n.wbs {
+			touched[a] = true
+		}
+		for a := range n.mem {
+			touched[a] = true
+		}
+	}
+	for a := range touched {
+		out[a] = s.valueOf(a)
+	}
+	return out
+}
+
+func (s *System) valueOf(addr uint64) uint64 {
+	for _, n := range s.nodes {
+		if wb, ok := n.wbs[addr]; ok {
+			return wb.data
+		}
+		if l := n.l2.Lookup(addr); l != nil && l.State.IsOwner() {
+			return l.Data
+		}
+	}
+	return s.nodes[s.home(addr)].memData(addr)
+}
+
+// CheckCoherence verifies single-owner and value-coherence invariants at
+// quiescence.
+func (s *System) CheckCoherence() []string {
+	var errs []string
+	owners := map[uint64][]int{}
+	for _, n := range s.nodes {
+		n.l2.ForEachValid(func(l *cache.Line) {
+			if l.State.IsOwner() {
+				owners[l.Addr] = append(owners[l.Addr], n.id)
+			}
+		})
+		for a := range n.wbs {
+			owners[a] = append(owners[a], n.id)
+		}
+	}
+	for addr, list := range owners {
+		if len(list) > 1 {
+			errs = append(errs, fmt.Sprintf("block %#x owned by %v", addr, list))
+		}
+	}
+	for _, n := range s.nodes {
+		n.l2.ForEachValid(func(l *cache.Line) {
+			if l.State == cache.Shared {
+				if v := s.valueOf(l.Addr); v != l.Data {
+					errs = append(errs, fmt.Sprintf("block %#x: node %d S copy %#x != owner %#x",
+						l.Addr, n.id, l.Data, v))
+				}
+			}
+		})
+	}
+	return errs
+}
+
+// Quiesce pauses processors and drains transactions.
+func (s *System) Quiesce(budget sim.Time) bool {
+	for _, n := range s.nodes {
+		n.running = false
+	}
+	deadline := s.eng.Now() + budget
+	for s.eng.Now() < deadline {
+		idle := !s.recovering
+		for _, n := range s.nodes {
+			if len(n.txns) != 0 || len(n.wbs) != 0 || len(n.pendingData) != 0 {
+				idle = false
+			}
+		}
+		if idle {
+			return true
+		}
+		s.eng.Run(s.eng.Now() + 500)
+	}
+	return false
+}
+
+// Resume restarts the processors after a Quiesce.
+func (s *System) Resume() {
+	for _, n := range s.nodes {
+		if !n.running {
+			n.running = true
+			n.step()
+		}
+	}
+}

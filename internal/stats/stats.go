@@ -1,0 +1,143 @@
+// Package stats provides the statistical treatment of the paper's
+// methodology (§4.1, after Alameldeen et al.): each design point is
+// simulated several times with pseudo-random latency perturbations, and
+// results are reported as a mean with an error bar of one standard
+// deviation in each direction.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Sample aggregates observations of one quantity.
+type Sample struct {
+	values []float64
+}
+
+// Add appends an observation.
+func (s *Sample) Add(v float64) { s.values = append(s.values, v) }
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.values) }
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func (s *Sample) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+// Stddev returns the sample standard deviation (0 for fewer than two
+// observations).
+func (s *Sample) Stddev() float64 {
+	n := len(s.values)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	ss := 0.0
+	for _, v := range s.values {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// Min and Max return extrema (0 for empty samples).
+func (s *Sample) Min() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	m := s.values[0]
+	for _, v := range s.values[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+func (s *Sample) Max() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	m := s.values[0]
+	for _, v := range s.values[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// String renders "mean ± stddev".
+func (s *Sample) String() string {
+	return fmt.Sprintf("%.3f ± %.3f", s.Mean(), s.Stddev())
+}
+
+// Overlaps reports whether two samples' one-standard-deviation error bars
+// overlap — the paper's working notion of "statistically similar"
+// performance.
+func Overlaps(a, b *Sample) bool {
+	aLo, aHi := a.Mean()-a.Stddev(), a.Mean()+a.Stddev()
+	bLo, bHi := b.Mean()-b.Stddev(), b.Mean()+b.Stddev()
+	return aLo <= bHi && bLo <= aHi
+}
+
+// Bar renders a crude horizontal bar of the given relative value in
+// [0, max] using width runes; used for figure-like terminal output.
+func Bar(value, max float64, width int) string {
+	if max <= 0 || value < 0 {
+		return ""
+	}
+	n := int(value / max * float64(width))
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n)
+}
+
+// Table renders rows of cells with aligned columns.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}

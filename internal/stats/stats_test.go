@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanStddev(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if got := s.Mean(); got != 5 {
+		t.Fatalf("mean = %v, want 5", got)
+	}
+	if got := s.Stddev(); math.Abs(got-2.138) > 0.001 {
+		t.Fatalf("stddev = %v, want ~2.138 (sample stddev)", got)
+	}
+	if s.N() != 8 || s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("N/Min/Max = %d/%v/%v", s.N(), s.Min(), s.Max())
+	}
+}
+
+func TestEmptySampleSafe(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Stddev() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty sample must report zeros")
+	}
+	one := Sample{}
+	one.Add(3)
+	if one.Stddev() != 0 {
+		t.Fatal("single observation has zero stddev")
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	a, b, c := &Sample{}, &Sample{}, &Sample{}
+	for _, v := range []float64{0.99, 1.00, 1.01} {
+		a.Add(v)
+	}
+	for _, v := range []float64{1.00, 1.01, 1.02} {
+		b.Add(v)
+	}
+	for _, v := range []float64{2.0, 2.01, 2.02} {
+		c.Add(v)
+	}
+	if !Overlaps(a, b) {
+		t.Fatal("close samples must overlap")
+	}
+	if Overlaps(a, c) {
+		t.Fatal("distant samples must not overlap")
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := Bar(0.5, 1.0, 10); got != "#####" {
+		t.Fatalf("Bar = %q", got)
+	}
+	if got := Bar(2.0, 1.0, 10); got != "##########" {
+		t.Fatalf("overflow must clamp: %q", got)
+	}
+	if Bar(1, 0, 10) != "" || Bar(-1, 1, 10) != "" {
+		t.Fatal("degenerate inputs must render empty")
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"name", "v"}, [][]string{{"longer", "1"}, {"x", "22"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d, want 4", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "name") || !strings.Contains(lines[1], "----") {
+		t.Fatalf("bad table:\n%s", out)
+	}
+}
+
+// Property: stddev is invariant under translation and scales linearly.
+func TestStddevProperties(t *testing.T) {
+	f := func(vals []float64, shift float64) bool {
+		if len(vals) < 2 || len(vals) > 50 {
+			return true
+		}
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+				return true
+			}
+		}
+		if math.IsNaN(shift) || math.IsInf(shift, 0) || math.Abs(shift) > 1e6 {
+			return true
+		}
+		var a, b Sample
+		for _, v := range vals {
+			a.Add(v)
+			b.Add(v + shift)
+		}
+		return math.Abs(a.Stddev()-b.Stddev()) < 1e-6*(1+a.Stddev())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,219 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCoordRoundTrip(t *testing.T) {
+	tor := New(4, 4)
+	for n := 0; n < 16; n++ {
+		x, y := tor.Coord(n)
+		if got := tor.NodeAt(x, y); got != n {
+			t.Fatalf("NodeAt(Coord(%d)) = %d", n, got)
+		}
+	}
+}
+
+func TestNodeAtWraps(t *testing.T) {
+	tor := New(4, 4)
+	if tor.NodeAt(-1, 0) != 3 {
+		t.Errorf("NodeAt(-1,0) = %d, want 3", tor.NodeAt(-1, 0))
+	}
+	if tor.NodeAt(4, 0) != 0 {
+		t.Errorf("NodeAt(4,0) = %d, want 0", tor.NodeAt(4, 0))
+	}
+	if tor.NodeAt(0, -1) != 12 {
+		t.Errorf("NodeAt(0,-1) = %d, want 12", tor.NodeAt(0, -1))
+	}
+}
+
+func TestSwitchIdentities(t *testing.T) {
+	tor := New(4, 4)
+	for n := 0; n < 16; n++ {
+		ew, ns := tor.EWSwitch(n), tor.NSSwitch(n)
+		if ew == ns {
+			t.Fatalf("node %d half-switches collide", n)
+		}
+		if tor.NodeOf(ew) != n || tor.NodeOf(ns) != n {
+			t.Fatalf("NodeOf inverse broken for node %d", n)
+		}
+		if tor.AxisOf(ew) != EW || tor.AxisOf(ns) != NS {
+			t.Fatalf("axis labels wrong for node %d", n)
+		}
+	}
+}
+
+func TestRouteSameNodeEmpty(t *testing.T) {
+	tor := New(4, 4)
+	r := tor.Route(5, 5)
+	if r == nil || len(r) != 0 {
+		t.Fatalf("same-node route = %v, want empty non-nil", r)
+	}
+}
+
+// routeIsValid checks that consecutive half-switches are physically
+// adjacent: same-node EW->NS transfer, or neighbors along the switch axis.
+func routeIsValid(t *testing.T, tor *Torus, src, dst int, route []SwitchID) {
+	t.Helper()
+	if len(route) == 0 {
+		if src != dst {
+			t.Fatalf("empty route for %d->%d", src, dst)
+		}
+		return
+	}
+	// First switch must belong to the source node, last to the destination.
+	if tor.NodeOf(route[0]) != src {
+		t.Fatalf("route %d->%d starts at node %d", src, dst, tor.NodeOf(route[0]))
+	}
+	if tor.NodeOf(route[len(route)-1]) != dst {
+		t.Fatalf("route %d->%d ends at node %d", src, dst, tor.NodeOf(route[len(route)-1]))
+	}
+	for i := 1; i < len(route); i++ {
+		a, b := route[i-1], route[i]
+		na, nb := tor.NodeOf(a), tor.NodeOf(b)
+		ax, ay := tor.Coord(na)
+		bx, by := tor.Coord(nb)
+		if na == nb {
+			if tor.AxisOf(a) == tor.AxisOf(b) {
+				t.Fatalf("route %d->%d repeats a half-switch at node %d", src, dst, na)
+			}
+			continue
+		}
+		dxf := ((bx - ax) + tor.Width()) % tor.Width()
+		dyf := ((by - ay) + tor.Height()) % tor.Height()
+		xAdj := ay == by && (dxf == 1 || dxf == tor.Width()-1)
+		yAdj := ax == bx && (dyf == 1 || dyf == tor.Height()-1)
+		switch {
+		case xAdj:
+			if tor.AxisOf(a) != EW || tor.AxisOf(b) != EW {
+				t.Fatalf("route %d->%d crosses X on non-EW switches (%v->%v)", src, dst, a, b)
+			}
+		case yAdj:
+			if tor.AxisOf(a) != NS || tor.AxisOf(b) != NS {
+				t.Fatalf("route %d->%d crosses Y on non-NS switches (%v->%v)", src, dst, a, b)
+			}
+		default:
+			t.Fatalf("route %d->%d hops between non-adjacent nodes %d and %d", src, dst, na, nb)
+		}
+	}
+}
+
+func TestAllPairsRoutable(t *testing.T) {
+	tor := New(4, 4)
+	for s := 0; s < 16; s++ {
+		for d := 0; d < 16; d++ {
+			if s == d {
+				continue
+			}
+			r := tor.Route(s, d)
+			if r == nil {
+				t.Fatalf("no route %d->%d on healthy torus", s, d)
+			}
+			routeIsValid(t, tor, s, d, r)
+		}
+	}
+}
+
+func TestRouteLengthIsShortestOnHealthyTorus(t *testing.T) {
+	tor := New(4, 4)
+	// Node 0 -> node 5 (diag neighbor): 2 X? (0,0)->(1,1): 1 X hop, 1 Y hop
+	// => switches: EW(0), EW(1), NS(1 at x=1,y=0), NS(5).
+	r := tor.Route(0, 5)
+	if len(r) != 4 {
+		t.Fatalf("route 0->5 = %v (len %d), want 4 half-switch traversals", r, len(r))
+	}
+	// Same-row neighbor: EW(src), EW(dst).
+	r = tor.Route(0, 1)
+	if len(r) != 2 {
+		t.Fatalf("route 0->1 = %v, want 2 traversals", r)
+	}
+	// Wraparound should be used: 0 -> 3 is 1 hop west.
+	r = tor.Route(0, 3)
+	if len(r) != 2 {
+		t.Fatalf("route 0->3 = %v, want wraparound with 2 traversals", r)
+	}
+}
+
+func TestSingleHalfSwitchFailureNeverPartitions(t *testing.T) {
+	for victim := SwitchID(0); victim < 32; victim++ {
+		tor := New(4, 4)
+		tor.Kill(victim)
+		for s := 0; s < 16; s++ {
+			for d := 0; d < 16; d++ {
+				if s == d {
+					continue
+				}
+				r := tor.Route(s, d)
+				if r == nil {
+					t.Fatalf("victim %v partitions %d->%d", victim, s, d)
+				}
+				for _, sw := range r {
+					if sw == victim {
+						t.Fatalf("route %d->%d uses dead switch %v", s, d, victim)
+					}
+				}
+				routeIsValid(t, tor, s, d, r)
+			}
+		}
+	}
+}
+
+func TestKillLengthensSomeRoutes(t *testing.T) {
+	tor := New(4, 4)
+	before := tor.Hops(0, 1)
+	tor.Kill(tor.EWSwitch(1)) // the destination's own EW half-switch
+	after := tor.Hops(0, 1)
+	if after <= before {
+		t.Fatalf("detour should cost hops: before=%d after=%d", before, after)
+	}
+}
+
+func TestReviveRestoresRoutes(t *testing.T) {
+	tor := New(4, 4)
+	victim := tor.EWSwitch(1)
+	before := tor.Hops(0, 2)
+	tor.Kill(victim)
+	tor.Revive(victim)
+	if got := tor.Hops(0, 2); got != before {
+		t.Fatalf("revive did not restore route length: %d vs %d", got, before)
+	}
+	if tor.DeadCount() != 0 {
+		t.Fatalf("DeadCount = %d after revive", tor.DeadCount())
+	}
+}
+
+func TestTinyTorusPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(1, 4) must panic")
+		}
+	}()
+	New(1, 4)
+}
+
+// Property: on arbitrary torus sizes, all routes are valid and symmetric in
+// length (|route(a,b)| == |route(b,a)| on a healthy torus).
+func TestRoutePropertyQuick(t *testing.T) {
+	f := func(w8, h8, a16, b16 uint8) bool {
+		w := int(w8%5) + 2 // 2..6
+		h := int(h8%5) + 2
+		tor := New(w, h)
+		a := int(a16) % (w * h)
+		b := int(b16) % (w * h)
+		ra := tor.Route(a, b)
+		rb := tor.Route(b, a)
+		if a == b {
+			return len(ra) == 0 && len(rb) == 0
+		}
+		if ra == nil || rb == nil {
+			return false
+		}
+		routeIsValid(t, tor, a, b, ra)
+		routeIsValid(t, tor, b, a, rb)
+		return len(ra) == len(rb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,229 @@
+// Package safetynet is a full-system reproduction of "SafetyNet: Improving
+// the Availability of Shared Memory Multiprocessors with Global
+// Checkpoint/Recovery" (Sorin, Martin, Hill, Wood — ISCA 2002).
+//
+// It simulates a 16-way shared-memory multiprocessor — blocking
+// processors, two-level caches, a MOSI directory protocol, and a 2D-torus
+// interconnect of half-switches — and implements SafetyNet on top:
+// Checkpoint Log Buffers, checkpoint coordination in logical time,
+// pipelined background validation, and global recovery/restart. The two
+// running-example faults of the paper (a dropped coherence message and a
+// killed half-switch) can be injected into any run; the unprotected
+// baseline crashes where the protected system takes a sub-millisecond
+// recovery.
+//
+// Quick start:
+//
+//	cfg := safetynet.DefaultConfig()
+//	sys, err := safetynet.New(cfg, "oltp")
+//	if err != nil { ... }
+//	sys.Start()
+//	sys.Run(2_000_000)
+//	fmt.Println(sys.Summary())
+//
+// The experiment harness regenerating every table and figure of the
+// paper's evaluation is exposed through RunTable2, RunFig5 ... RunDetect;
+// cmd/snbench wraps them.
+package safetynet
+
+import (
+	"fmt"
+	"strings"
+
+	"safetynet/internal/config"
+	"safetynet/internal/harness"
+	"safetynet/internal/machine"
+	"safetynet/internal/sim"
+	"safetynet/internal/workload"
+)
+
+// Config holds every parameter of the simulated target system; see
+// DefaultConfig for the paper's Table 2 values.
+type Config = config.Params
+
+// DefaultConfig returns the paper's target system with SafetyNet enabled.
+func DefaultConfig() Config { return config.Default() }
+
+// UnprotectedConfig returns the baseline system without SafetyNet.
+func UnprotectedConfig() Config { return config.Unprotected() }
+
+// Workloads lists the available workload presets (the paper's five
+// evaluation workloads plus a protocol stress profile).
+func Workloads() []string { return workload.Names() }
+
+// PaperWorkloads lists the five evaluation workloads in Figure 5 order.
+func PaperWorkloads() []string { return workload.PaperWorkloads() }
+
+// System is one simulated machine running a workload.
+type System struct {
+	m        *machine.Machine
+	cfg      Config
+	workload string
+}
+
+// New builds a system running the named workload preset on every
+// processor.
+func New(cfg Config, workloadName string) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	prof, err := workload.ByName(workloadName)
+	if err != nil {
+		return nil, err
+	}
+	return &System{m: machine.New(cfg, prof), cfg: cfg, workload: workloadName}, nil
+}
+
+// Start launches the processors and, when SafetyNet is enabled, the
+// checkpoint clock and service controllers.
+func (s *System) Start() { s.m.Start() }
+
+// Run advances the simulation to the given absolute cycle (1 cycle = 1 ns
+// at the modeled 1 GHz) and returns the reached time. A crash of the
+// unprotected baseline stops the run early.
+func (s *System) Run(untilCycle uint64) uint64 {
+	return uint64(s.m.Run(sim.Time(untilCycle)))
+}
+
+// RunFor advances the simulation by the given number of cycles.
+func (s *System) RunFor(cycles uint64) uint64 {
+	return uint64(s.m.Run(s.m.Eng.Now() + sim.Time(cycles)))
+}
+
+// Now returns the current simulation time in cycles.
+func (s *System) Now() uint64 { return uint64(s.m.Eng.Now()) }
+
+// InjectDropOnce arms a one-shot transient interconnect fault: the first
+// data-bearing coherence message sent at or after the given cycle is lost
+// (paper Table 1, "Dropped Message").
+func (s *System) InjectDropOnce(atCycle uint64) {
+	s.m.Net.InjectDropOnce(sim.Time(atCycle))
+}
+
+// InjectDropEvery arms periodic transient faults: one message lost per
+// period (Experiment 2 drops one per 100M cycles — ten per second).
+func (s *System) InjectDropEvery(startCycle, periodCycles uint64) {
+	s.m.Net.InjectDropEvery(sim.Time(startCycle), sim.Time(periodCycles))
+}
+
+// KillSwitch schedules the hard fault of Experiment 3: node's east-west
+// half-switch dies at the given cycle, losing its buffered messages;
+// routing reconfigures around it (paper Table 1, "Failed Switch").
+func (s *System) KillSwitch(node int, atCycle uint64) {
+	s.m.Net.KillSwitchAt(s.m.Topo.EWSwitch(node), sim.Time(atCycle))
+}
+
+// Result summarizes a run.
+type Result struct {
+	Workload  string
+	Protected bool
+	Cycles    uint64
+	// Instrs is durable forward progress: instructions retired and not
+	// rolled back by recoveries.
+	Instrs uint64
+	// IPC is aggregate instructions per cycle across all processors.
+	IPC float64
+
+	Crashed    bool
+	CrashCause string
+
+	Recoveries       int
+	RecoveryPoint    uint32
+	InstrsRolledBack uint64
+
+	StoresLogged    uint64
+	TransfersLogged uint64
+	MessagesSent    uint64
+	MessagesDropped uint64
+}
+
+// Result returns the current run summary.
+func (s *System) Result() Result {
+	r := Result{
+		Workload:         s.workload,
+		Protected:        s.cfg.SafetyNetEnabled,
+		Cycles:           uint64(s.m.Eng.Now()),
+		Instrs:           s.m.TotalInstrs(),
+		Crashed:          s.m.Crashed,
+		CrashCause:       s.m.CrashCause,
+		RecoveryPoint:    uint32(s.m.RPCN()),
+		InstrsRolledBack: s.m.InstrsRolledBack,
+		MessagesSent:     s.m.Net.Stats().Sent,
+		MessagesDropped:  s.m.Net.DroppedTotal(),
+	}
+	if r.Cycles > 0 {
+		r.IPC = float64(r.Instrs) / float64(r.Cycles)
+	}
+	if svc := s.m.ActiveService(); svc != nil {
+		r.Recoveries = len(svc.Recoveries())
+	}
+	for _, n := range s.m.Nodes {
+		cs := n.CC.Stats()
+		r.StoresLogged += cs.StoresLogged
+		r.TransfersLogged += cs.TransfersLogged
+	}
+	return r
+}
+
+// Summary renders the run summary as text.
+func (s *System) Summary() string {
+	r := s.Result()
+	var b strings.Builder
+	mode := "SafetyNet"
+	if !r.Protected {
+		mode = "unprotected"
+	}
+	fmt.Fprintf(&b, "workload %s on 16-way %s system\n", r.Workload, mode)
+	fmt.Fprintf(&b, "  cycles:            %d (%.3f ms at 1 GHz)\n", r.Cycles, float64(r.Cycles)/1e6)
+	fmt.Fprintf(&b, "  instructions:      %d (aggregate IPC %.3f)\n", r.Instrs, r.IPC)
+	if r.Crashed {
+		fmt.Fprintf(&b, "  CRASHED: %s\n", r.CrashCause)
+	}
+	if r.Protected {
+		fmt.Fprintf(&b, "  recovery point:    checkpoint %d\n", r.RecoveryPoint)
+		fmt.Fprintf(&b, "  recoveries:        %d (rolled back %d instructions)\n", r.Recoveries, r.InstrsRolledBack)
+		fmt.Fprintf(&b, "  CLB log appends:   %d store overwrites, %d ownership transfers\n",
+			r.StoresLogged, r.TransfersLogged)
+	}
+	fmt.Fprintf(&b, "  network:           %d messages sent, %d dropped\n", r.MessagesSent, r.MessagesDropped)
+	return b.String()
+}
+
+// Machine exposes the underlying machine for white-box inspection (used
+// by the examples and the randomized checker).
+func (s *System) Machine() *machine.Machine { return s.m }
+
+// ---------------------------------------------------------------------
+// Experiment harness (one entry point per table/figure)
+// ---------------------------------------------------------------------
+
+// ExperimentOptions sizes an experiment run; see DefaultOptions and
+// QuickOptions.
+type ExperimentOptions = harness.Options
+
+// DefaultOptions is the standard experiment sizing (three perturbed runs).
+func DefaultOptions() ExperimentOptions { return harness.DefaultOptions() }
+
+// QuickOptions trades precision for speed.
+func QuickOptions() ExperimentOptions { return harness.QuickOptions() }
+
+// RunTable2 renders the target-system parameter table.
+func RunTable2(cfg Config) string { return harness.Table2(cfg) }
+
+// RunFig5 regenerates Figure 5 (Experiments 1-3) and returns its report.
+func RunFig5(cfg Config, o ExperimentOptions) string { return harness.Fig5(cfg, o).Render() }
+
+// RunFig6 regenerates Figure 6 (store/coherence frequencies vs interval).
+func RunFig6(cfg Config, o ExperimentOptions) string { return harness.Fig6(cfg, o).Render() }
+
+// RunFig7 regenerates Figure 7 (cache bandwidth vs interval).
+func RunFig7(cfg Config, o ExperimentOptions) string { return harness.Fig7(cfg, o).Render() }
+
+// RunFig8 regenerates Figure 8 (performance vs CLB size).
+func RunFig8(cfg Config, o ExperimentOptions) string { return harness.Fig8(cfg, o).Render() }
+
+// RunRecovery measures recovery latency and lost work (§4.2).
+func RunRecovery(cfg Config, o ExperimentOptions) string { return harness.Recovery(cfg, o).Render() }
+
+// RunDetect sweeps fault-detection latency (§3.4).
+func RunDetect(cfg Config, o ExperimentOptions) string { return harness.Detect(cfg, o).Render() }

@@ -1,0 +1,125 @@
+package safetynet
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewValidatesInputs(t *testing.T) {
+	cfg := DefaultConfig()
+	if _, err := New(cfg, "no-such-workload"); err == nil {
+		t.Fatal("unknown workload must error")
+	}
+	cfg.NumNodes = 0
+	if _, err := New(cfg, "oltp"); err == nil {
+		t.Fatal("invalid config must error")
+	}
+}
+
+func TestWorkloadsListed(t *testing.T) {
+	names := Workloads()
+	if len(names) < 6 {
+		t.Fatalf("Workloads() = %v", names)
+	}
+	if got := PaperWorkloads(); len(got) != 5 {
+		t.Fatalf("PaperWorkloads() = %v", got)
+	}
+	for _, wl := range PaperWorkloads() {
+		if _, err := New(DefaultConfig(), wl); err != nil {
+			t.Fatalf("preset %s: %v", wl, err)
+		}
+	}
+}
+
+func TestProtectedRunSummary(t *testing.T) {
+	sys, err := New(DefaultConfig(), "barnes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Start()
+	end := sys.Run(500_000)
+	if end != 500_000 || sys.Now() != 500_000 {
+		t.Fatalf("Run returned %d, Now %d", end, sys.Now())
+	}
+	r := sys.Result()
+	if r.Crashed || r.Instrs == 0 || !r.Protected {
+		t.Fatalf("result = %+v", r)
+	}
+	if r.RecoveryPoint < 2 {
+		t.Fatalf("recovery point %d did not advance", r.RecoveryPoint)
+	}
+	s := sys.Summary()
+	for _, want := range []string{"barnes", "SafetyNet", "recovery point"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunForAdvances(t *testing.T) {
+	sys, err := New(DefaultConfig(), "barnes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Start()
+	sys.Run(100_000)
+	if got := sys.RunFor(50_000); got != 150_000 {
+		t.Fatalf("RunFor = %d, want 150000", got)
+	}
+}
+
+func TestFaultInjectionThroughFacade(t *testing.T) {
+	up, err := New(UnprotectedConfig(), "barnes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	up.InjectDropOnce(200_000)
+	up.Start()
+	up.Run(2_000_000)
+	if !up.Result().Crashed {
+		t.Fatal("unprotected + dropped message must crash")
+	}
+
+	sn, err := New(DefaultConfig(), "barnes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn.InjectDropOnce(200_000)
+	sn.Start()
+	sn.Run(2_000_000)
+	r := sn.Result()
+	if r.Crashed {
+		t.Fatal("protected system crashed")
+	}
+	if r.Recoveries != 1 {
+		t.Fatalf("Recoveries = %d, want 1", r.Recoveries)
+	}
+	if r.InstrsRolledBack == 0 {
+		t.Fatal("recovery must roll back some work")
+	}
+}
+
+func TestKillSwitchThroughFacade(t *testing.T) {
+	sys, err := New(DefaultConfig(), "stress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.KillSwitch(5, 100_000)
+	sys.Start()
+	sys.Run(1_500_000)
+	if sys.Result().Crashed {
+		t.Fatal("protected system must survive the hard fault")
+	}
+	if sys.Machine().Topo.DeadCount() != 1 {
+		t.Fatal("switch not killed")
+	}
+}
+
+func TestTable2Renders(t *testing.T) {
+	out := RunTable2(DefaultConfig())
+	for _, want := range []string{"128 KB", "4 MB", "512 kbytes", "2D torus", "100000 cycles"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table 2 missing %q:\n%s", want, out)
+		}
+	}
+}
