@@ -1,30 +1,50 @@
-// Command snbench regenerates the paper's evaluation: every table and
-// figure of §4, printed as the same rows and series the paper reports.
+// Command snbench regenerates the paper's evaluation from the experiment
+// registry: every table and figure of §4, printed as text, JSON, or CSV.
 //
-//	snbench                      # full suite (several minutes)
-//	snbench -quick               # single-run, short-window suite
-//	snbench -exp fig6            # one experiment
+//	snbench                          # full suite (several minutes)
+//	snbench -list                    # enumerate registered experiments
+//	snbench -quick                   # single-run, short-window suite
+//	snbench -exp fig6                # one experiment
+//	snbench -exp fig6 -format json   # structured output
+//	snbench -j 8                     # fan runs across 8 workers
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"strings"
+	"runtime"
 	"time"
 
 	"safetynet"
 )
 
-var experiments = []string{"table2", "fig5", "fig6", "fig7", "fig8", "recovery", "detect"}
-
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: "+strings.Join(experiments, ", ")+", or all")
-		quick = flag.Bool("quick", false, "single-run, short-window sizing")
-		runs  = flag.Int("runs", 0, "override the number of perturbed runs per point")
+		exp    = flag.String("exp", "all", "experiment name (see -list), or all")
+		list   = flag.Bool("list", false, "list registered experiments and exit")
+		quick  = flag.Bool("quick", false, "single-run, short-window sizing")
+		runs   = flag.Int("runs", 0, "override the number of perturbed runs per point")
+		par    = flag.Int("j", runtime.NumCPU(), "simulations run in parallel (1 = serial)")
+		format = flag.String("format", "text", "output format: text, json, csv")
 	)
 	flag.Parse()
+
+	catalog := safetynet.Experiments()
+	if *list {
+		for _, e := range catalog {
+			fmt.Printf("%-10s %s\n", e.Name, e.Description)
+		}
+		return
+	}
+
+	switch *format {
+	case "text", "json", "csv":
+	default:
+		fmt.Fprintf(os.Stderr, "snbench: unknown format %q (have text, json, csv)\n", *format)
+		os.Exit(1)
+	}
 
 	cfg := safetynet.DefaultConfig()
 	opts := safetynet.DefaultOptions()
@@ -34,43 +54,60 @@ func main() {
 	if *runs > 0 {
 		opts.Runs = *runs
 	}
+	opts.Parallelism = *par
 
-	selected := experiments
-	if *exp != "all" {
-		ok := false
-		for _, e := range experiments {
-			if e == *exp {
-				ok = true
-			}
+	var selected []string
+	if *exp == "all" {
+		for _, e := range catalog {
+			selected = append(selected, e.Name)
 		}
-		if !ok {
-			fmt.Fprintf(os.Stderr, "snbench: unknown experiment %q (have %v)\n", *exp, experiments)
-			os.Exit(1)
-		}
+	} else {
 		selected = []string{*exp}
 	}
+	if *format == "csv" && len(selected) > 1 {
+		fmt.Fprintln(os.Stderr, "snbench: -format csv needs a single experiment (experiments have different columns); pass -exp")
+		os.Exit(1)
+	}
 
-	for _, e := range selected {
+	var reports []*safetynet.Report
+	for _, name := range selected {
 		start := time.Now()
-		var out string
-		switch e {
-		case "table2":
-			out = safetynet.RunTable2(cfg)
-		case "fig5":
-			out = safetynet.RunFig5(cfg, opts)
-		case "fig6":
-			out = safetynet.RunFig6(cfg, opts)
-		case "fig7":
-			out = safetynet.RunFig7(cfg, opts)
-		case "fig8":
-			out = safetynet.RunFig8(cfg, opts)
-		case "recovery":
-			out = safetynet.RunRecovery(cfg, opts)
-		case "detect":
-			out = safetynet.RunDetect(cfg, opts)
+		rep, err := safetynet.RunExperiment(name, cfg, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "snbench: %v\n", err)
+			os.Exit(1)
 		}
-		fmt.Println("==================================================================")
-		fmt.Println(out)
-		fmt.Printf("[%s completed in %v]\n\n", e, time.Since(start).Round(time.Millisecond))
+		if *format == "json" {
+			// Collect so a multi-experiment run emits one parseable
+			// document (an array) instead of concatenated objects.
+			reports = append(reports, rep)
+			continue
+		}
+		out, err := rep.Encode(*format)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "snbench: %v\n", err)
+			os.Exit(1)
+		}
+		if *format == "text" {
+			fmt.Println("==================================================================")
+			fmt.Println(out)
+			fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		} else {
+			fmt.Print(out)
+		}
+	}
+	if *format == "json" {
+		var out []byte
+		var err error
+		if len(reports) == 1 {
+			out, err = reports[0].JSON()
+		} else {
+			out, err = json.MarshalIndent(reports, "", "  ")
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "snbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(out))
 	}
 }

@@ -49,14 +49,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "snsim:", err)
 		os.Exit(1)
 	}
+	var plan []safetynet.FaultEvent
 	if *dropAt > 0 {
-		sys.InjectDropOnce(*dropAt)
+		plan = append(plan, safetynet.DropOnce(*dropAt))
 	}
 	if *dropEvery > 0 {
-		sys.InjectDropEvery(*dropEvery, *dropEvery)
+		plan = append(plan, safetynet.DropEvery(*dropEvery, *dropEvery))
 	}
 	if *killNode >= 0 {
-		sys.KillSwitch(*killNode, *killAt)
+		plan = append(plan, safetynet.KillEWSwitch(*killNode, *killAt))
+	}
+	if err := sys.Inject(plan...); err != nil {
+		fmt.Fprintln(os.Stderr, "snsim:", err)
+		os.Exit(1)
 	}
 
 	sys.Start()

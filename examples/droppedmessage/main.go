@@ -20,7 +20,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	up.InjectDropOnce(1_000_000)
+	if err := up.Inject(safetynet.DropOnce(1_000_000)); err != nil {
+		log.Fatal(err)
+	}
 	up.Start()
 	up.Run(horizon)
 	fmt.Println("=== unprotected baseline ===")
@@ -33,7 +35,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sn.InjectDropEvery(1_000_000, 1_000_000)
+	if err := sn.Inject(safetynet.DropEvery(1_000_000, 1_000_000)); err != nil {
+		log.Fatal(err)
+	}
 	sn.Start()
 	sn.Run(horizon)
 	fmt.Println("\n=== SafetyNet ===")

@@ -31,7 +31,9 @@ func tryKill(killAt uint64) (*safetynet.System, bool) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sys.KillSwitch(killNode, killAt)
+	if err := sys.Inject(safetynet.KillEWSwitch(killNode, killAt)); err != nil {
+		log.Fatal(err)
+	}
 	sys.Start()
 	sys.Run(killAt + 100_000)
 	return sys, sys.Result().MessagesDropped > 0

@@ -1,0 +1,3 @@
+module safetynet
+
+go 1.22

@@ -2,11 +2,11 @@ package harness
 
 import (
 	"fmt"
-	"strings"
+	"strconv"
 
 	"safetynet/internal/config"
+	"safetynet/internal/fault"
 	"safetynet/internal/sim"
-	"safetynet/internal/stats"
 )
 
 // DetectPoint is one detection-latency design point.
@@ -28,11 +28,15 @@ type DetectResult struct {
 	Points    []DetectPoint
 }
 
-// Detect sweeps the detection (timeout) latency with a single injected
-// transient fault.
-func Detect(base config.Params, o Options) *DetectResult {
-	r := &DetectResult{Workload: "jbb", Tolerance: base.DetectionToleranceCycles()}
-	for _, d := range []uint64{50_000, 100_000, 200_000, 400_000} {
+const detectWorkload = "jbb"
+
+// detectLatencies is the swept detection (request timeout) latency.
+func detectLatencies() []uint64 { return []uint64{50_000, 100_000, 200_000, 400_000} }
+
+// detectGrid expands the sweep: one single-fault run per latency.
+func detectGrid(base config.Params, o Options) []Point {
+	var pts []Point
+	for _, d := range detectLatencies() {
 		p := perturbed(base, o, 0)
 		p.SafetyNetEnabled = true
 		p.RequestTimeoutCycles = d
@@ -44,35 +48,74 @@ func Detect(base config.Params, o Options) *DetectResult {
 		if min := sim.Time(8 * d); measure < min {
 			measure = min
 		}
-		res := Run(RunConfig{
-			Params: p, Workload: r.Workload, Warmup: o.Warmup, Measure: measure,
-			Fault: FaultPlan{DropOnceAt: o.Warmup + measure/8},
+		pts = append(pts, Point{
+			Labels: map[string]string{"detect": strconv.FormatUint(d, 10)},
+			Run: RunConfig{
+				Params: p, Workload: detectWorkload, Warmup: o.Warmup, Measure: measure,
+				Fault: fault.Plan{fault.DropOnce{At: o.Warmup + measure/8}},
+			},
 		})
+	}
+	return pts
+}
+
+func detectFold(base config.Params, pts []Point, res []RunResult) *DetectResult {
+	r := &DetectResult{Workload: detectWorkload, Tolerance: base.DetectionToleranceCycles()}
+	for i, pt := range pts {
+		d, _ := strconv.ParseUint(pt.Label("detect"), 10, 64)
 		r.Points = append(r.Points, DetectPoint{
 			DetectionCycles: d,
-			Recovered:       res.Recoveries > 0,
-			Crashed:         res.Crashed,
-			IPC:             res.IPC,
+			Recovered:       res[i].Recoveries > 0,
+			Crashed:         res[i].Crashed,
+			IPC:             res[i].IPC,
 		})
 	}
 	return r
 }
 
-// Render prints the sweep.
-func (r *DetectResult) Render() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "Detection-latency tolerance (configured tolerance: %d cycles)\n\n", r.Tolerance)
-	header := []string{"detection latency", "recovered", "crashed", "aggregate IPC"}
-	var rows [][]string
+// Detect sweeps the detection (timeout) latency with a single injected
+// transient fault.
+func Detect(base config.Params, o Options) *DetectResult {
+	pts := detectGrid(base, o)
+	return detectFold(base, pts, RunPoints(pts, o.Parallelism))
+}
+
+// Report converts the result to its structured form.
+func (r *DetectResult) Report() *Report {
+	rep := &Report{
+		Experiment: "detect",
+		Title:      fmt.Sprintf("Detection-latency tolerance (configured tolerance: %d cycles)", r.Tolerance),
+		LabelCols:  []string{"detection latency", "recovered", "crashed"},
+		ValueCols:  []string{"aggregate IPC"},
+		Notes: []string{
+			"(paper: 4 outstanding 100k-cycle checkpoints tolerate 400k cycles = 0.4 ms of detection latency)",
+		},
+	}
 	for _, pt := range r.Points {
-		rows = append(rows, []string{
-			fmt.Sprintf("%dk cycles", pt.DetectionCycles/1000),
-			fmt.Sprintf("%v", pt.Recovered),
-			fmt.Sprintf("%v", pt.Crashed),
-			fmt.Sprintf("%.3f", pt.IPC),
+		rep.Rows = append(rep.Rows, Row{
+			Labels: []string{
+				fmt.Sprintf("%dk cycles", pt.DetectionCycles/1000),
+				strconv.FormatBool(pt.Recovered),
+				strconv.FormatBool(pt.Crashed),
+			},
+			Values: []Value{Scalar(pt.IPC)},
 		})
 	}
-	b.WriteString(stats.Table(header, rows))
-	b.WriteString("\n(paper: 4 outstanding 100k-cycle checkpoints tolerate 400k cycles = 0.4 ms of detection latency)\n")
-	return b.String()
+	return rep
+}
+
+// Render prints the sweep.
+func (r *DetectResult) Render() string { return r.Report().Render() }
+
+func init() {
+	Register(Experiment{
+		Name:        "detect",
+		Title:       "Detection-latency tolerance",
+		Description: "recovery behavior and throughput as fault-detection latency grows (§3.4)",
+		Order:       6,
+		Grid:        detectGrid,
+		Reduce: func(base config.Params, _ Options, pts []Point, res []RunResult) *Report {
+			return detectFold(base, pts, res).Report()
+		},
+	})
 }

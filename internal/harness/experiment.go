@@ -1,0 +1,160 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"safetynet/internal/config"
+)
+
+// Point is one simulation of an experiment's design-point grid. Labels
+// name the point's position along the experiment's dimensions (workload,
+// bar, interval, ...) for the reduce step and for structured output.
+type Point struct {
+	Labels map[string]string
+	Run    RunConfig
+}
+
+// Label returns one label value ("" when absent).
+func (p Point) Label(key string) string { return p.Labels[key] }
+
+// Experiment declares one table or figure of the evaluation: a grid of
+// concrete runs expanded from the base configuration and options, and a
+// reduce step folding the grid's results into a structured Report.
+type Experiment struct {
+	// Name is the registry key (e.g. "fig6"); Title and Description are
+	// for humans.
+	Name        string
+	Title       string
+	Description string
+	// Order sorts the catalog listing (paper order, not name order).
+	Order int
+	// Grid expands the experiment into concrete runs. Nil means the
+	// experiment needs no simulation (table2 prints parameters).
+	Grid func(base config.Params, o Options) []Point
+	// Reduce folds the grid's results — res[i] belongs to pts[i], in
+	// grid order regardless of execution order — into the report.
+	Reduce func(base config.Params, o Options, pts []Point, res []RunResult) *Report
+}
+
+// Run expands the grid, executes every point (fanning across
+// o.Parallelism workers), and reduces the results.
+func (e Experiment) Run(base config.Params, o Options) *Report {
+	var pts []Point
+	if e.Grid != nil {
+		pts = e.Grid(base, o)
+	}
+	res := RunPoints(pts, o.Parallelism)
+	rep := e.Reduce(base, o, pts, res)
+	rep.Experiment = e.Name
+	if rep.Title == "" {
+		rep.Title = e.Title
+	}
+	return rep
+}
+
+// RunPoints executes every point and returns results in point order.
+// Each run owns its own deterministic engine, machine, and RNG, so runs
+// are independent and the result for a given point is identical whether
+// it executed serially or on a worker pool.
+func RunPoints(pts []Point, parallelism int) []RunResult {
+	res := make([]RunResult, len(pts))
+	if parallelism > len(pts) {
+		parallelism = len(pts)
+	}
+	if parallelism <= 1 {
+		for i := range pts {
+			res[i] = Run(pts[i].Run)
+		}
+		return res
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				res[i] = Run(pts[i].Run)
+			}
+		}()
+	}
+	for i := range pts {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return res
+}
+
+// ---------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Experiment{}
+)
+
+// Register adds an experiment to the package registry. Registering a
+// duplicate name panics (programming error: two files claimed one
+// figure).
+func Register(e Experiment) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if e.Name == "" || e.Reduce == nil {
+		panic("harness: experiment needs a name and a reduce step")
+	}
+	if _, dup := registry[e.Name]; dup {
+		panic(fmt.Sprintf("harness: duplicate experiment %q", e.Name))
+	}
+	registry[e.Name] = e
+}
+
+// Get returns the named experiment.
+func Get(name string) (Experiment, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	e, ok := registry[name]
+	return e, ok
+}
+
+// Experiments returns every registered experiment in catalog order.
+func Experiments() []Experiment {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Order != out[j].Order {
+			return out[i].Order < out[j].Order
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Names returns the registered experiment names in catalog order.
+func Names() []string {
+	exps := Experiments()
+	names := make([]string, len(exps))
+	for i, e := range exps {
+		names[i] = e.Name
+	}
+	return names
+}
+
+// RunExperiment runs the named experiment against the base
+// configuration. Unknown names list the valid ones.
+func RunExperiment(name string, base config.Params, o Options) (*Report, error) {
+	e, ok := Get(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown experiment %q (have %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return e.Run(base, o), nil
+}

@@ -1,0 +1,182 @@
+package harness
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"safetynet/internal/config"
+	"safetynet/internal/fault"
+	"safetynet/internal/topology"
+)
+
+func TestRegistryCatalog(t *testing.T) {
+	want := []string{"table2", "fig5", "fig6", "fig7", "fig8", "recovery", "detect"}
+	if got := Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for _, e := range Experiments() {
+		if e.Title == "" || e.Description == "" {
+			t.Errorf("experiment %s lacks a title or description", e.Name)
+		}
+	}
+}
+
+func TestRunExperimentUnknownName(t *testing.T) {
+	_, err := RunExperiment("fig9", config.Default(), QuickOptions())
+	if err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+	if !strings.Contains(err.Error(), "fig6") {
+		t.Errorf("error %q does not list valid names", err)
+	}
+}
+
+func TestRunExperimentTable2(t *testing.T) {
+	rep, err := RunExperiment("table2", config.Default(), QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Experiment != "table2" || len(rep.Rows) == 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if !strings.Contains(rep.Render(), "2D torus") {
+		t.Error("render missing torus row")
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration must panic")
+		}
+	}()
+	Register(Experiment{Name: "fig5", Reduce: func(config.Params, Options, []Point, []RunResult) *Report {
+		return &Report{}
+	}})
+}
+
+// multiFaultPlan layers periodic message drops with a half-switch kill —
+// a combination the old flat fault descriptor could not express.
+func multiFaultPlan() fault.Plan {
+	return fault.Plan{
+		fault.DropEvery{Start: 300_000, Period: 400_000},
+		fault.KillSwitch{Node: victimSwitchNode, Axis: topology.EW, At: 500_000},
+	}
+}
+
+func TestRunMultiFaultPlan(t *testing.T) {
+	res := Run(RunConfig{
+		Params: config.Default(), Workload: "barnes",
+		Warmup: 200_000, Measure: 1_400_000,
+		Fault: multiFaultPlan(),
+	})
+	if res.Crashed {
+		t.Fatalf("protected system crashed under the multi-fault plan: %s", res.CrashCause)
+	}
+	if res.Recoveries == 0 {
+		t.Fatal("multi-fault plan caused no recoveries")
+	}
+	if res.NetDropped == 0 {
+		t.Fatal("no messages lost despite drops and a dead switch")
+	}
+}
+
+func TestRunInvalidFaultPlanReportsCrash(t *testing.T) {
+	// Degenerate options can build degenerate plans (zero drop period);
+	// Run must surface that as a crashed result, not a panic.
+	res := Run(RunConfig{
+		Params: config.Default(), Workload: "barnes", Warmup: 0, Measure: 4,
+		Fault: fault.Plan{fault.DropEvery{Start: 0, Period: 0}},
+	})
+	if !res.Crashed {
+		t.Fatal("invalid fault plan must mark the run crashed")
+	}
+	if !strings.Contains(res.CrashCause, "invalid fault plan") {
+		t.Fatalf("CrashCause = %q", res.CrashCause)
+	}
+}
+
+// tinyExperiment is a small unregistered experiment exercising the grid,
+// runner and reduce machinery quickly across two workloads.
+func tinyExperiment() Experiment {
+	return Experiment{
+		Name:  "tiny",
+		Title: "tiny determinism probe",
+		Grid: func(base config.Params, o Options) []Point {
+			var pts []Point
+			for _, wl := range []string{"barnes", "stress"} {
+				for i := 0; i < 3; i++ {
+					pts = append(pts, Point{
+						Labels: map[string]string{"workload": wl},
+						Run: RunConfig{
+							Params: perturbed(base, o, i), Workload: wl,
+							Warmup: o.Warmup, Measure: o.Measure,
+						},
+					})
+				}
+			}
+			return pts
+		},
+		Reduce: func(_ config.Params, _ Options, pts []Point, res []RunResult) *Report {
+			rep := &Report{Title: "tiny", LabelCols: []string{"i", "workload"}, ValueCols: []string{"ipc"}}
+			for i := range pts {
+				rep.Rows = append(rep.Rows, Row{
+					Labels: []string{string(rune('a' + i)), pts[i].Label("workload")},
+					Values: []Value{Scalar(res[i].IPC)},
+				})
+			}
+			return rep
+		},
+	}
+}
+
+func TestParallelRunsAreDeterministic(t *testing.T) {
+	base := config.Default()
+	o := Options{Runs: 1, Warmup: 80_000, Measure: 200_000, BaseSeed: 1}
+	e := tinyExperiment()
+	pts := e.Grid(base, o)
+
+	// The runner must produce identical per-point results in point order
+	// regardless of scheduling.
+	sRes := RunPoints(pts, 1)
+	pRes := RunPoints(pts, 4)
+	if !reflect.DeepEqual(sRes, pRes) {
+		t.Fatal("RunPoints results differ between serial and parallel execution")
+	}
+
+	sText := e.Reduce(base, o, pts, sRes).Render()
+	pText := e.Reduce(base, o, pts, pRes).Render()
+	if sText != pText {
+		t.Fatalf("parallel run diverged from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", sText, pText)
+	}
+}
+
+func TestParallelFig6MatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	base := config.Default()
+	o := tinyOptions()
+	serial := o
+	serial.Parallelism = 1
+	parallel := o
+	parallel.Parallelism = 5
+
+	sRep, err := RunExperiment("fig6", base, serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pRep, err := RunExperiment("fig6", base, parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sRep.Render() != pRep.Render() {
+		t.Fatal("fig6 parallel rendering differs from serial")
+	}
+	sJSON, _ := sRep.JSON()
+	pJSON, _ := pRep.JSON()
+	if string(sJSON) != string(pJSON) {
+		t.Fatal("fig6 parallel JSON differs from serial")
+	}
+}

@@ -1,11 +1,10 @@
 package harness
 
 import (
-	"fmt"
-	"strings"
-
 	"safetynet/internal/config"
+	"safetynet/internal/fault"
 	"safetynet/internal/stats"
+	"safetynet/internal/topology"
 	"safetynet/internal/workload"
 )
 
@@ -26,6 +25,9 @@ const (
 	SafetyNetHardFault
 )
 
+var fig5Bars = []Fig5Bar{UnprotectedFaultFree, UnprotectedWithFault,
+	SafetyNetFaultFree, SafetyNetTransientFaults, SafetyNetHardFault}
+
 var fig5BarNames = map[Fig5Bar]string{
 	UnprotectedFaultFree:     "Unprotected fault-free",
 	UnprotectedWithFault:     "Unprotected with fault",
@@ -35,6 +37,14 @@ var fig5BarNames = map[Fig5Bar]string{
 }
 
 func (b Fig5Bar) String() string { return fig5BarNames[b] }
+
+var fig5BarByName = func() map[string]Fig5Bar {
+	m := make(map[string]Fig5Bar, len(fig5BarNames))
+	for b, n := range fig5BarNames {
+		m[n] = b
+	}
+	return m
+}()
 
 // Fig5Cell is one bar: a normalized-performance sample or a crash.
 type Fig5Cell struct {
@@ -50,7 +60,15 @@ type Fig5Result struct {
 	Opts      Options
 }
 
-// Fig5 runs the paper's performance evaluation (Experiments 1-3).
+// fig5Config returns the perturbed per-bar parameters: the bars either
+// disable SafetyNet (the unprotected baseline) or enable it.
+func fig5Config(base config.Params, o Options, run int, bar Fig5Bar) config.Params {
+	p := perturbed(base, o, run)
+	p.SafetyNetEnabled = bar >= SafetyNetFaultFree
+	return p
+}
+
+// fig5Fault builds each bar's fault plan.
 //
 // The transient-fault rate is scaled to the horizon: the paper injects
 // one fault per 100M cycles (ten per second); simulating 100M cycles per
@@ -60,45 +78,73 @@ type Fig5Result struct {
 // intervals of re-executed work (~150k cycles), so the expected overhead
 // at this rate is a few percent, and under the paper's rate it would be
 // ~0.15% — supporting the "statistically insignificant" conclusion.
-func Fig5(base config.Params, o Options) *Fig5Result {
+func fig5Fault(o Options, bar Fig5Bar) fault.Plan {
+	switch bar {
+	case UnprotectedWithFault:
+		return fault.Plan{fault.DropOnce{At: o.Warmup + o.Measure/8}}
+	case SafetyNetTransientFaults:
+		return fault.Plan{fault.DropEvery{Start: o.Warmup, Period: o.Measure}}
+	case SafetyNetHardFault:
+		return fault.Plan{fault.KillSwitch{
+			Node: victimSwitchNode, Axis: topology.EW, At: o.Warmup + o.Measure/4,
+		}}
+	default:
+		return nil
+	}
+}
+
+// fig5Grid expands Figure 5 into workload x bar x perturbed-run points.
+func fig5Grid(base config.Params, o Options) []Point {
+	var pts []Point
+	for _, wl := range workload.PaperWorkloads() {
+		for _, bar := range fig5Bars {
+			for i := 0; i < o.Runs; i++ {
+				pts = append(pts, Point{
+					Labels: map[string]string{"workload": wl, "bar": bar.String()},
+					Run: RunConfig{
+						Params:   fig5Config(base, o, i, bar),
+						Workload: wl,
+						Warmup:   o.Warmup,
+						Measure:  o.Measure,
+						Fault:    fig5Fault(o, bar),
+					},
+				})
+			}
+		}
+	}
+	return pts
+}
+
+// fig5Fold aggregates grid results into the per-workload, per-bar cells.
+func fig5Fold(o Options, pts []Point, res []RunResult) *Fig5Result {
 	r := &Fig5Result{
 		Workloads: workload.PaperWorkloads(),
 		Cells:     map[string]map[Fig5Bar]*Fig5Cell{},
 		Opts:      o,
 	}
-	dropEvery := o.Measure
-	killAt := o.Warmup + o.Measure/4
-
 	for _, wl := range r.Workloads {
 		r.Cells[wl] = map[Fig5Bar]*Fig5Cell{}
-		for _, bar := range []Fig5Bar{UnprotectedFaultFree, UnprotectedWithFault,
-			SafetyNetFaultFree, SafetyNetTransientFaults, SafetyNetHardFault} {
+		for _, bar := range fig5Bars {
 			r.Cells[wl][bar] = &Fig5Cell{}
 		}
-		for i := 0; i < o.Runs; i++ {
-			p := perturbed(base, o, i)
-			up := p
-			up.SafetyNetEnabled = false
-			sn := p
-			sn.SafetyNetEnabled = true
-
-			runBar := func(bar Fig5Bar, params config.Params, fault FaultPlan) {
-				res := Run(RunConfig{Params: params, Workload: wl, Warmup: o.Warmup, Measure: o.Measure, Fault: fault})
-				cell := r.Cells[wl][bar]
-				if res.Crashed {
-					cell.Crashed = true
-					return
-				}
-				cell.Perf.Add(res.IPC)
-			}
-			runBar(UnprotectedFaultFree, up, FaultPlan{})
-			runBar(UnprotectedWithFault, up, FaultPlan{DropOnceAt: o.Warmup + o.Measure/8})
-			runBar(SafetyNetFaultFree, sn, FaultPlan{})
-			runBar(SafetyNetTransientFaults, sn, FaultPlan{DropEvery: dropEvery, DropStart: o.Warmup})
-			runBar(SafetyNetHardFault, sn, FaultPlan{KillSwitchAt: killAt, KillSwitchNode: victimSwitchNode})
+	}
+	for i, pt := range pts {
+		cell := r.Cells[pt.Label("workload")][fig5BarByName[pt.Label("bar")]]
+		if res[i].Crashed {
+			cell.Crashed = true
+			continue
 		}
+		cell.Perf.Add(res[i].IPC)
 	}
 	return r
+}
+
+// Fig5 runs the paper's performance evaluation (Experiments 1-3)
+// serially; RunExperiment("fig5", ...) adds parallelism and structured
+// output.
+func Fig5(base config.Params, o Options) *Fig5Result {
+	pts := fig5Grid(base, o)
+	return fig5Fold(o, pts, RunPoints(pts, o.Parallelism))
 }
 
 // Normalized returns a bar's performance normalized to the workload's
@@ -115,29 +161,46 @@ func (r *Fig5Result) Normalized(wl string, bar Fig5Bar) (mean, stddev float64, c
 	return c.Perf.Mean() / base, c.Perf.Stddev() / base, false
 }
 
-// Render prints the figure as rows of normalized bars.
-func (r *Fig5Result) Render() string {
-	var b strings.Builder
-	b.WriteString("Figure 5: Performance Evaluation of SafetyNet\n")
-	b.WriteString("(normalized to unprotected fault-free; error bars = 1 stddev)\n\n")
-	header := []string{"workload", "bar", "normalized", "visual"}
-	var rows [][]string
+// Report converts the result to its structured form.
+func (r *Fig5Result) Report() *Report {
+	rep := &Report{
+		Experiment: "fig5",
+		Title:      "Figure 5: Performance Evaluation of SafetyNet",
+		Subtitle:   "(normalized to unprotected fault-free; error bars = 1 stddev)",
+		LabelCols:  []string{"workload", "bar"},
+		ValueCols:  []string{"normalized"},
+		Bar:        &BarSpec{Col: 0, Max: 1.2},
+	}
 	for _, wl := range r.Workloads {
-		for _, bar := range []Fig5Bar{UnprotectedFaultFree, UnprotectedWithFault,
-			SafetyNetFaultFree, SafetyNetTransientFaults, SafetyNetHardFault} {
+		for _, bar := range fig5Bars {
 			mean, sd, crashed := r.Normalized(wl, bar)
+			v := Value{Mean: mean, Stddev: sd, N: r.Cells[wl][bar].Perf.N()}
 			if crashed {
-				rows = append(rows, []string{wl, bar.String(), "CRASH", ""})
-				continue
+				// Surviving-run stats are discarded once any run of the
+				// bar crashes; don't report their N against a zero mean.
+				v = CrashedValue()
 			}
-			rows = append(rows, []string{
-				wl, bar.String(),
-				fmt.Sprintf("%.3f ± %.3f", mean, sd),
-				stats.Bar(mean, 1.2, 24),
+			rep.Rows = append(rep.Rows, Row{
+				Labels: []string{wl, bar.String()},
+				Values: []Value{v},
 			})
 		}
-		rows = append(rows, []string{"", "", "", ""})
 	}
-	b.WriteString(stats.Table(header, rows))
-	return b.String()
+	return rep
+}
+
+// Render prints the figure as rows of normalized bars.
+func (r *Fig5Result) Render() string { return r.Report().Render() }
+
+func init() {
+	Register(Experiment{
+		Name:        "fig5",
+		Title:       "Figure 5: Performance Evaluation of SafetyNet",
+		Description: "normalized performance of Experiments 1-3 across the five paper workloads",
+		Order:       1,
+		Grid:        fig5Grid,
+		Reduce: func(_ config.Params, o Options, pts []Point, res []RunResult) *Report {
+			return fig5Fold(o, pts, res).Report()
+		},
+	})
 }

@@ -2,7 +2,6 @@ package harness
 
 import (
 	"fmt"
-	"strings"
 
 	"safetynet/internal/config"
 	"safetynet/internal/sim"
@@ -34,66 +33,111 @@ func Fig6Intervals() []uint64 {
 	return []uint64{10_000, 50_000, 100_000, 500_000, 1_000_000}
 }
 
-// Fig6 sweeps the checkpoint interval and measures store/coherence
-// frequencies and how many of each require logging.
-func Fig6(base config.Params, o Options) *Fig6Result {
-	r := &Fig6Result{Workload: "apache", Intervals: Fig6Intervals()}
-	for _, iv := range r.Intervals {
-		p := perturbed(base, o, 0)
-		p.SafetyNetEnabled = true
-		p.CheckpointIntervalCycles = iv
-		// Keep the signoff, detection tolerance and watchdog scaled.
-		p.ValidationSignoffCycles = iv
-		p.ValidationWatchdogCycles = 6 * iv
-		// Long intervals need a window covering several of them.
-		measure := o.Measure
-		if min := sim.Time(4 * iv); measure < min {
-			measure = min
-		}
-		res := Run(RunConfig{Params: p, Workload: r.Workload, Warmup: o.Warmup, Measure: measure})
-		k := float64(res.Instrs) / 1000
+// intervalParams rescales the checkpoint machinery for a swept interval:
+// the signoff, detection tolerance and watchdog stay proportional.
+func intervalParams(base config.Params, o Options, iv uint64) config.Params {
+	p := perturbed(base, o, 0)
+	p.SafetyNetEnabled = true
+	p.CheckpointIntervalCycles = iv
+	p.ValidationSignoffCycles = iv
+	p.ValidationWatchdogCycles = 6 * iv
+	return p
+}
+
+// intervalMeasure widens the measurement window so it covers several
+// checkpoint intervals even for the longest sweep points.
+func intervalMeasure(o Options, iv uint64) sim.Time {
+	if min := sim.Time(4 * iv); o.Measure < min {
+		return min
+	}
+	return o.Measure
+}
+
+const fig6Workload = "apache"
+
+// fig6Grid expands the interval sweep: one run per interval.
+func fig6Grid(base config.Params, o Options) []Point {
+	var pts []Point
+	for _, iv := range Fig6Intervals() {
+		pts = append(pts, Point{
+			Labels: map[string]string{"interval": fmt.Sprintf("%dk", iv/1000)},
+			Run: RunConfig{
+				Params:   intervalParams(base, o, iv),
+				Workload: fig6Workload,
+				Warmup:   o.Warmup,
+				Measure:  intervalMeasure(o, iv),
+			},
+		})
+	}
+	return pts
+}
+
+func fig6Fold(pts []Point, res []RunResult) *Fig6Result {
+	r := &Fig6Result{Workload: fig6Workload, Intervals: Fig6Intervals()}
+	for i := range pts {
+		k := float64(res[i].Instrs) / 1000
 		if k == 0 {
 			k = 1
 		}
 		r.Points = append(r.Points, Fig6Point{
-			IntervalCycles:      iv,
-			StoresPer1000:       float64(res.StoresTotal) / k,
-			CoherencePer1000:    float64(res.CoherenceReqs) / k,
-			StoresCLBPer1000:    float64(res.StoresLogged) / k,
-			CoherenceCLBPer1000: float64(res.TransfersLogged+res.DirLogged) / k,
+			IntervalCycles:      pts[i].Run.Params.CheckpointIntervalCycles,
+			StoresPer1000:       float64(res[i].StoresTotal) / k,
+			CoherencePer1000:    float64(res[i].CoherenceReqs) / k,
+			StoresCLBPer1000:    float64(res[i].StoresLogged) / k,
+			CoherenceCLBPer1000: float64(res[i].TransfersLogged+res[i].DirLogged) / k,
 		})
 	}
 	return r
 }
 
-// Render prints the four series.
-func (r *Fig6Result) Render() string {
-	var b strings.Builder
-	b.WriteString("Figure 6: Frequencies of Stores and Coherence Requests (" + r.Workload + ")\n")
-	b.WriteString("(events per 1000 instructions vs checkpoint interval)\n\n")
-	header := []string{"interval", "all stores", "all coh reqs", "stores->CLB", "coh reqs->CLB"}
-	var rows [][]string
-	for _, pt := range r.Points {
-		rows = append(rows, []string{
-			fmt.Sprintf("%dk", pt.IntervalCycles/1000),
-			fmt.Sprintf("%.1f", pt.StoresPer1000),
-			fmt.Sprintf("%.1f", pt.CoherencePer1000),
-			fmt.Sprintf("%.2f", pt.StoresCLBPer1000),
-			fmt.Sprintf("%.2f", pt.CoherenceCLBPer1000),
-		})
-	}
-	b.WriteString(stats.Table(header, rows))
-	last := r.Points[len(r.Points)-1]
-	first := r.Points[0]
-	b.WriteString(fmt.Sprintf("\nstores->CLB falloff %.1fx from %dk to %dk cycles (paper: one to two orders of magnitude)\n",
-		safeDiv(first.StoresCLBPer1000, last.StoresCLBPer1000),
-		first.IntervalCycles/1000, last.IntervalCycles/1000))
-	return b.String()
+// Fig6 sweeps the checkpoint interval and measures store/coherence
+// frequencies and how many of each require logging.
+func Fig6(base config.Params, o Options) *Fig6Result {
+	pts := fig6Grid(base, o)
+	return fig6Fold(pts, RunPoints(pts, o.Parallelism))
 }
 
-func safeDiv(a, b float64) float64 {
-	if b == 0 {
-		return 0
+// Report converts the result to its structured form.
+func (r *Fig6Result) Report() *Report {
+	rep := &Report{
+		Experiment: "fig6",
+		Title:      "Figure 6: Frequencies of Stores and Coherence Requests (" + r.Workload + ")",
+		Subtitle:   "(events per 1000 instructions vs checkpoint interval)",
+		LabelCols:  []string{"interval"},
+		ValueCols:  []string{"all stores", "all coh reqs", "stores->CLB", "coh reqs->CLB"},
+		ValueFmt:   []string{"%.1f", "%.1f", "%.2f", "%.2f"},
 	}
-	return a / b
+	for _, pt := range r.Points {
+		rep.Rows = append(rep.Rows, Row{
+			Labels: []string{fmt.Sprintf("%dk", pt.IntervalCycles/1000)},
+			Values: []Value{
+				Scalar(pt.StoresPer1000), Scalar(pt.CoherencePer1000),
+				Scalar(pt.StoresCLBPer1000), Scalar(pt.CoherenceCLBPer1000),
+			},
+		})
+	}
+	if len(r.Points) > 0 {
+		first, last := r.Points[0], r.Points[len(r.Points)-1]
+		rep.Notes = append(rep.Notes, fmt.Sprintf(
+			"stores->CLB falloff %.1fx from %dk to %dk cycles (paper: one to two orders of magnitude)",
+			stats.SafeDiv(first.StoresCLBPer1000, last.StoresCLBPer1000),
+			first.IntervalCycles/1000, last.IntervalCycles/1000))
+	}
+	return rep
+}
+
+// Render prints the four series.
+func (r *Fig6Result) Render() string { return r.Report().Render() }
+
+func init() {
+	Register(Experiment{
+		Name:        "fig6",
+		Title:       "Figure 6: Frequencies of Stores and Coherence Requests",
+		Description: "store/coherence event rates and their logged subsets vs checkpoint interval",
+		Order:       2,
+		Grid:        fig6Grid,
+		Reduce: func(_ config.Params, _ Options, pts []Point, res []RunResult) *Report {
+			return fig6Fold(pts, res).Report()
+		},
+	})
 }

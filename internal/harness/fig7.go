@@ -2,11 +2,8 @@ package harness
 
 import (
 	"fmt"
-	"strings"
 
 	"safetynet/internal/config"
-	"safetynet/internal/sim"
-	"safetynet/internal/stats"
 )
 
 // Fig7Point is one interval design point: the cache-bandwidth breakdown
@@ -25,53 +22,73 @@ type Fig7Result struct {
 // Fig7Intervals matches the paper's x axis (10k, 50k, 100k, 500k, 1M).
 func Fig7Intervals() []uint64 { return Fig6Intervals() }
 
-// Fig7 sweeps the checkpoint interval and measures the cache bandwidth
-// consumed by hits, fills, coherence responses, and logging.
-func Fig7(base config.Params, o Options) *Fig7Result {
-	r := &Fig7Result{Workload: "apache"}
-	for _, iv := range Fig7Intervals() {
-		p := perturbed(base, o, 0)
-		p.SafetyNetEnabled = true
-		p.CheckpointIntervalCycles = iv
-		p.ValidationSignoffCycles = iv
-		p.ValidationWatchdogCycles = 6 * iv
-		measure := o.Measure
-		if min := sim.Time(4 * iv); measure < min {
-			measure = min
-		}
-		res := Run(RunConfig{Params: p, Workload: r.Workload, Warmup: o.Warmup, Measure: measure})
-		total := float64(res.Bandwidth.Total())
+// fig7Grid reuses the fig6 interval sweep: same points, different
+// measured quantity.
+func fig7Grid(base config.Params, o Options) []Point { return fig6Grid(base, o) }
+
+func fig7Fold(pts []Point, res []RunResult) *Fig7Result {
+	r := &Fig7Result{Workload: fig6Workload}
+	for i := range pts {
+		total := float64(res[i].Bandwidth.Total())
 		if total == 0 {
 			total = 1
 		}
 		r.Points = append(r.Points, Fig7Point{
-			IntervalCycles: iv,
-			HitFrac:        float64(res.Bandwidth.HitCycles) / total,
-			FillFrac:       float64(res.Bandwidth.FillCycles) / total,
-			CoherenceFrac:  float64(res.Bandwidth.CoherenceCycles) / total,
-			LoggingFrac:    float64(res.Bandwidth.LoggingCycles) / total,
+			IntervalCycles: pts[i].Run.Params.CheckpointIntervalCycles,
+			HitFrac:        float64(res[i].Bandwidth.HitCycles) / total,
+			FillFrac:       float64(res[i].Bandwidth.FillCycles) / total,
+			CoherenceFrac:  float64(res[i].Bandwidth.CoherenceCycles) / total,
+			LoggingFrac:    float64(res[i].Bandwidth.LoggingCycles) / total,
 		})
 	}
 	return r
 }
 
-// Render prints the stacked-fraction table.
-func (r *Fig7Result) Render() string {
-	var b strings.Builder
-	b.WriteString("Figure 7: Cache Bandwidth vs Checkpoint Interval (" + r.Workload + ")\n")
-	b.WriteString("(fraction of cache-port occupancy by class)\n\n")
-	header := []string{"interval", "hits", "fills", "coherence", "logging"}
-	var rows [][]string
+// Fig7 sweeps the checkpoint interval and measures the cache bandwidth
+// consumed by hits, fills, coherence responses, and logging.
+func Fig7(base config.Params, o Options) *Fig7Result {
+	pts := fig7Grid(base, o)
+	return fig7Fold(pts, RunPoints(pts, o.Parallelism))
+}
+
+// Report converts the result to its structured form; the values are
+// percentages of cache-port occupancy.
+func (r *Fig7Result) Report() *Report {
+	rep := &Report{
+		Experiment: "fig7",
+		Title:      "Figure 7: Cache Bandwidth vs Checkpoint Interval (" + r.Workload + ")",
+		Subtitle:   "(percent of cache-port occupancy by class)",
+		LabelCols:  []string{"interval"},
+		ValueCols:  []string{"hits", "fills", "coherence", "logging"},
+		ValueFmt:   []string{"%.1f%%", "%.1f%%", "%.1f%%", "%.2f%%"},
+		Notes: []string{
+			"(paper: logging ranges from ~4% at 5k-cycle intervals down to ~0.3% at 1M)",
+		},
+	}
 	for _, pt := range r.Points {
-		rows = append(rows, []string{
-			fmt.Sprintf("%dk", pt.IntervalCycles/1000),
-			fmt.Sprintf("%.1f%%", 100*pt.HitFrac),
-			fmt.Sprintf("%.1f%%", 100*pt.FillFrac),
-			fmt.Sprintf("%.1f%%", 100*pt.CoherenceFrac),
-			fmt.Sprintf("%.2f%%", 100*pt.LoggingFrac),
+		rep.Rows = append(rep.Rows, Row{
+			Labels: []string{fmt.Sprintf("%dk", pt.IntervalCycles/1000)},
+			Values: []Value{
+				Scalar(100 * pt.HitFrac), Scalar(100 * pt.FillFrac),
+				Scalar(100 * pt.CoherenceFrac), Scalar(100 * pt.LoggingFrac),
+			},
 		})
 	}
-	b.WriteString(stats.Table(header, rows))
-	b.WriteString("\n(paper: logging ranges from ~4% at 5k-cycle intervals down to ~0.3% at 1M)\n")
-	return b.String()
+	return rep
+}
+
+// Render prints the stacked-fraction table.
+func (r *Fig7Result) Render() string { return r.Report().Render() }
+
+func init() {
+	Register(Experiment{
+		Name:        "fig7",
+		Title:       "Figure 7: Cache Bandwidth vs Checkpoint Interval",
+		Description: "cache-port occupancy split across hits, fills, coherence, and logging",
+		Order:       3,
+		Grid:        fig7Grid,
+		Reduce: func(_ config.Params, _ Options, pts []Point, res []RunResult) *Report {
+			return fig7Fold(pts, res).Report()
+		},
+	})
 }

@@ -2,7 +2,7 @@ package harness
 
 import (
 	"fmt"
-	"strings"
+	"strconv"
 
 	"safetynet/internal/config"
 	"safetynet/internal/stats"
@@ -28,9 +28,28 @@ func Fig8Sizes() []int {
 	return []int{1 << 20, 512 << 10, 128 << 10, 64 << 10, 48 << 10, 32 << 10}
 }
 
-// Fig8 sweeps total CLB storage per node and measures performance
-// degradation from log back-pressure.
-func Fig8(base config.Params, o Options) *Fig8Result {
+// fig8Grid expands workload x CLB-size x perturbed-run points.
+func fig8Grid(base config.Params, o Options) []Point {
+	var pts []Point
+	for _, wl := range workload.PaperWorkloads() {
+		for _, size := range Fig8Sizes() {
+			for i := 0; i < o.Runs; i++ {
+				p := perturbed(base, o, i)
+				p.SafetyNetEnabled = true
+				p.CLBBytes = size
+				pts = append(pts, Point{
+					Labels: map[string]string{
+						"workload": wl, "clb": strconv.Itoa(size),
+					},
+					Run: RunConfig{Params: p, Workload: wl, Warmup: o.Warmup, Measure: o.Measure},
+				})
+			}
+		}
+	}
+	return pts
+}
+
+func fig8Fold(pts []Point, res []RunResult) *Fig8Result {
 	r := &Fig8Result{
 		Workloads: workload.PaperWorkloads(),
 		Sizes:     Fig8Sizes(),
@@ -42,17 +61,22 @@ func Fig8(base config.Params, o Options) *Fig8Result {
 		r.Stalls[wl] = map[int]uint64{}
 		for _, size := range r.Sizes {
 			r.Perf[wl][size] = &stats.Sample{}
-			for i := 0; i < o.Runs; i++ {
-				p := perturbed(base, o, i)
-				p.SafetyNetEnabled = true
-				p.CLBBytes = size
-				res := Run(RunConfig{Params: p, Workload: wl, Warmup: o.Warmup, Measure: o.Measure})
-				r.Perf[wl][size].Add(res.IPC)
-				r.Stalls[wl][size] += res.CLBStallCycles
-			}
 		}
 	}
+	for i, pt := range pts {
+		wl := pt.Label("workload")
+		size, _ := strconv.Atoi(pt.Label("clb"))
+		r.Perf[wl][size].Add(res[i].IPC)
+		r.Stalls[wl][size] += res[i].CLBStallCycles
+	}
 	return r
+}
+
+// Fig8 sweeps total CLB storage per node and measures performance
+// degradation from log back-pressure.
+func Fig8(base config.Params, o Options) *Fig8Result {
+	pts := fig8Grid(base, o)
+	return fig8Fold(pts, RunPoints(pts, o.Parallelism))
 }
 
 // Normalized returns performance relative to the largest-CLB mean.
@@ -65,25 +89,44 @@ func (r *Fig8Result) Normalized(wl string, size int) (mean, stddev float64) {
 	return s.Mean() / base, s.Stddev() / base
 }
 
-// Render prints the figure.
-func (r *Fig8Result) Render() string {
-	var b strings.Builder
-	b.WriteString("Figure 8: Performance vs CLB Size\n")
-	b.WriteString("(normalized to the 1 MB configuration)\n\n")
-	header := []string{"workload"}
-	for _, s := range r.Sizes {
-		header = append(header, fmt.Sprintf("%dKB", s>>10))
+// Report converts the result to its structured form: one row per
+// workload, one value column per CLB size.
+func (r *Fig8Result) Report() *Report {
+	rep := &Report{
+		Experiment: "fig8",
+		Title:      "Figure 8: Performance vs CLB Size",
+		Subtitle:   "(normalized to the 1 MB configuration)",
+		LabelCols:  []string{"workload"},
+		Notes: []string{
+			"(paper: 1MB and 512KB statistically equivalent; 256KB degrades jbb and apache; 128KB degrades all)",
+		},
 	}
-	var rows [][]string
+	for _, s := range r.Sizes {
+		rep.ValueCols = append(rep.ValueCols, fmt.Sprintf("%dKB", s>>10))
+	}
 	for _, wl := range r.Workloads {
-		row := []string{wl}
+		row := Row{Labels: []string{wl}}
 		for _, s := range r.Sizes {
 			m, sd := r.Normalized(wl, s)
-			row = append(row, fmt.Sprintf("%.3f±%.3f", m, sd))
+			row.Values = append(row.Values, Value{Mean: m, Stddev: sd, N: r.Perf[wl][s].N()})
 		}
-		rows = append(rows, row)
+		rep.Rows = append(rep.Rows, row)
 	}
-	b.WriteString(stats.Table(header, rows))
-	b.WriteString("\n(paper: 1MB and 512KB statistically equivalent; 256KB degrades jbb and apache; 128KB degrades all)\n")
-	return b.String()
+	return rep
+}
+
+// Render prints the figure.
+func (r *Fig8Result) Render() string { return r.Report().Render() }
+
+func init() {
+	Register(Experiment{
+		Name:        "fig8",
+		Title:       "Figure 8: Performance vs CLB Size",
+		Description: "performance degradation from CLB back-pressure as buffer capacity shrinks",
+		Order:       4,
+		Grid:        fig8Grid,
+		Reduce: func(_ config.Params, _ Options, pts []Point, res []RunResult) *Report {
+			return fig8Fold(pts, res).Report()
+		},
+	})
 }

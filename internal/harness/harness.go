@@ -1,35 +1,22 @@
-// Package harness defines one experiment per table and figure of the
-// paper's evaluation (§4): it builds machines, applies fault plans, runs
-// warmup and measurement windows, aggregates perturbed runs into
-// mean ± stddev samples, and renders the same rows and series the paper
-// reports. cmd/snbench and the repository's benchmarks are thin wrappers
-// around this package.
+// Package harness regenerates the paper's evaluation (§4) through a
+// registry of declarative experiments: each table and figure declares a
+// grid of design points (RunConfigs) and a reduce step folding the
+// measured results into a structured Report that renders as text and
+// marshals to JSON and CSV. Points run independently — every run owns
+// its own deterministic engine — so the runner fans them across a
+// worker pool without changing any result. cmd/snbench and the
+// repository's benchmarks are thin wrappers around this package.
 package harness
 
 import (
-	"fmt"
-
 	"safetynet/internal/cache"
 	"safetynet/internal/config"
+	"safetynet/internal/fault"
 	"safetynet/internal/machine"
 	"safetynet/internal/sim"
 	"safetynet/internal/topology"
 	"safetynet/internal/workload"
 )
-
-// FaultPlan describes fault injection for one run.
-type FaultPlan struct {
-	// DropOnceAt, when nonzero, drops one data-bearing coherence message
-	// at (or after) the given cycle.
-	DropOnceAt sim.Time
-	// DropEvery, when nonzero, drops one message per period starting at
-	// DropStart (Experiment 2: transient faults).
-	DropEvery, DropStart sim.Time
-	// KillSwitchAt, when nonzero, kills the east-west half-switch of
-	// KillSwitchNode at the given cycle (Experiment 3: hard fault).
-	KillSwitchAt   sim.Time
-	KillSwitchNode int
-}
 
 // RunConfig is one simulation run.
 type RunConfig struct {
@@ -39,7 +26,9 @@ type RunConfig struct {
 	Warmup sim.Time
 	// Measure is the measurement-window length.
 	Measure sim.Time
-	Fault   FaultPlan
+	// Fault is the ordered fault plan armed before the run starts; the
+	// zero value is fault-free.
+	Fault fault.Plan
 }
 
 // RunResult carries everything the experiments report.
@@ -104,7 +93,13 @@ func Run(rc RunConfig) RunResult {
 		panic(err)
 	}
 	m := machine.New(rc.Params, prof)
-	applyFaults(m, rc.Fault)
+	if err := rc.Fault.Arm(fault.Target{Net: m.Net, Topo: m.Topo}); err != nil {
+		// Surface an invalid plan as a crashed run rather than panicking:
+		// small-but-legal Options can produce degenerate plans (e.g. a
+		// zero drop period), and a panic inside a parallel worker would
+		// kill the whole process.
+		return RunResult{Crashed: true, CrashCause: "invalid fault plan: " + err.Error()}
+	}
 	m.Start()
 	m.Run(rc.Warmup)
 	if m.Crashed {
@@ -156,18 +151,6 @@ func Run(rc RunConfig) RunResult {
 	return res
 }
 
-func applyFaults(m *machine.Machine, f FaultPlan) {
-	if f.DropOnceAt > 0 {
-		m.Net.InjectDropOnce(f.DropOnceAt)
-	}
-	if f.DropEvery > 0 {
-		m.Net.InjectDropEvery(f.DropStart, f.DropEvery)
-	}
-	if f.KillSwitchAt > 0 {
-		m.Net.KillSwitchAt(m.Topo.EWSwitch(f.KillSwitchNode), f.KillSwitchAt)
-	}
-}
-
 // Options sizes an experiment suite run.
 type Options struct {
 	// Runs is the number of perturbed runs per design point (the paper
@@ -178,6 +161,10 @@ type Options struct {
 	Warmup, Measure sim.Time
 	// BaseSeed seeds the perturbation sequence.
 	BaseSeed uint64
+	// Parallelism is the number of simulations run concurrently (each
+	// on its own engine); values <= 1 run serially. Results are
+	// identical either way — only wall-clock changes.
+	Parallelism int
 }
 
 // DefaultOptions matches a laptop-scale reproduction: three perturbed
@@ -206,11 +193,4 @@ const victimSwitchNode = 5
 // VictimSwitch returns the half-switch Experiment 3 kills.
 func VictimSwitch(t *topology.Torus) topology.SwitchID {
 	return t.EWSwitch(victimSwitchNode)
-}
-
-func fmtPct(num, den uint64) string {
-	if den == 0 {
-		return "n/a"
-	}
-	return fmt.Sprintf("%.2f%%", 100*float64(num)/float64(den))
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"safetynet/internal/config"
+	"safetynet/internal/fault"
 	"safetynet/internal/sim"
 )
 
@@ -52,7 +53,7 @@ func TestRunCrashPropagates(t *testing.T) {
 	p := config.Unprotected()
 	res := Run(RunConfig{
 		Params: p, Workload: "barnes", Warmup: 100_000, Measure: 2_000_000,
-		Fault: FaultPlan{DropOnceAt: 300_000},
+		Fault: fault.Plan{fault.DropOnce{At: 300_000}},
 	})
 	if !res.Crashed || res.CrashCause == "" {
 		t.Fatalf("expected crash, got %+v", res)
@@ -63,7 +64,7 @@ func TestRunFaultPlans(t *testing.T) {
 	p := config.Default()
 	res := Run(RunConfig{
 		Params: p, Workload: "barnes", Warmup: 200_000, Measure: 1_200_000,
-		Fault: FaultPlan{DropEvery: 400_000, DropStart: 300_000},
+		Fault: fault.Plan{fault.DropEvery{Start: 300_000, Period: 400_000}},
 	})
 	if res.Crashed {
 		t.Fatal("protected run crashed")
@@ -177,15 +178,6 @@ func TestVictimSwitchStable(t *testing.T) {
 	_ = sim.Time(0)
 	if victimSwitchNode != 5 {
 		t.Fatal("victim switch changed; update EXPERIMENTS.md")
-	}
-}
-
-func TestPctHelper(t *testing.T) {
-	if got := fmtPct(1, 0); got != "n/a" {
-		t.Fatalf("fmtPct(1,0) = %q", got)
-	}
-	if got := fmtPct(1, 4); got != "25.00%" {
-		t.Fatalf("fmtPct = %q", got)
 	}
 }
 

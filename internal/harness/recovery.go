@@ -1,10 +1,8 @@
 package harness
 
 import (
-	"fmt"
-	"strings"
-
 	"safetynet/internal/config"
+	"safetynet/internal/fault"
 	"safetynet/internal/stats"
 )
 
@@ -20,43 +18,84 @@ type RecoveryResult struct {
 	IPCWithFaults         float64
 }
 
-// Recovery injects periodic transient faults into an OLTP run and
-// measures recovery latency and lost work.
-func Recovery(base config.Params, o Options) *RecoveryResult {
-	r := &RecoveryResult{Workload: "oltp"}
+const recoveryWorkload = "oltp"
+
+// recoveryGrid runs the same OLTP configuration twice: fault-free, and
+// under periodic transient faults.
+func recoveryGrid(base config.Params, o Options) []Point {
 	p := perturbed(base, o, 0)
 	p.SafetyNetEnabled = true
+	rc := RunConfig{Params: p, Workload: recoveryWorkload, Warmup: o.Warmup, Measure: o.Measure}
+	clean := Point{Labels: map[string]string{"scenario": "fault-free"}, Run: rc}
+	faulty := Point{Labels: map[string]string{"scenario": "faulty"}, Run: rc}
+	faulty.Run.Fault = fault.Plan{fault.DropEvery{Start: o.Warmup, Period: o.Measure / 5}}
+	return []Point{clean, faulty}
+}
 
-	clean := Run(RunConfig{Params: p, Workload: r.Workload, Warmup: o.Warmup, Measure: o.Measure})
-	r.IPCFaultFree = clean.IPC
-
-	faulty := Run(RunConfig{
-		Params: p, Workload: r.Workload, Warmup: o.Warmup, Measure: o.Measure,
-		Fault: FaultPlan{DropEvery: o.Measure / 5, DropStart: o.Warmup},
-	})
-	r.IPCWithFaults = faulty.IPC
-	r.Recoveries = faulty.Recoveries
-	for _, d := range faulty.RecoveryCycles {
-		r.CoordCycles.Add(float64(d))
-	}
-	if faulty.Recoveries > 0 {
-		r.LostInstrsPerRecovery = float64(faulty.InstrsRolledBack) / float64(faulty.Recoveries)
+func recoveryFold(pts []Point, res []RunResult) *RecoveryResult {
+	r := &RecoveryResult{Workload: recoveryWorkload}
+	for i, pt := range pts {
+		if pt.Label("scenario") == "fault-free" {
+			r.IPCFaultFree = res[i].IPC
+			continue
+		}
+		r.IPCWithFaults = res[i].IPC
+		r.Recoveries = res[i].Recoveries
+		for _, d := range res[i].RecoveryCycles {
+			r.CoordCycles.Add(float64(d))
+		}
+		if res[i].Recoveries > 0 {
+			r.LostInstrsPerRecovery = float64(res[i].InstrsRolledBack) / float64(res[i].Recoveries)
+		}
 	}
 	return r
 }
 
+// Recovery injects periodic transient faults into an OLTP run and
+// measures recovery latency and lost work.
+func Recovery(base config.Params, o Options) *RecoveryResult {
+	pts := recoveryGrid(base, o)
+	return recoveryFold(pts, RunPoints(pts, o.Parallelism))
+}
+
+// Report converts the result to its structured form: one row per
+// reported metric.
+func (r *RecoveryResult) Report() *Report {
+	coord := Sampled(&r.CoordCycles)
+	return &Report{
+		Experiment: "recovery",
+		Title:      "Recovery latency (§4.2: a sub-millisecond speed bump, not a crash)",
+		Subtitle:   "(workload: " + r.Workload + ")",
+		LabelCols:  []string{"metric", "unit"},
+		ValueCols:  []string{"value"},
+		ValueFmt:   []string{"%.3f"},
+		Rows: []Row{
+			{Labels: []string{"recoveries", "count"}, Values: []Value{Scalar(float64(r.Recoveries))}},
+			{Labels: []string{"coordination latency", "cycles"}, Values: []Value{coord}},
+			{Labels: []string{"lost work per recovery", "instructions"}, Values: []Value{Scalar(r.LostInstrsPerRecovery)}},
+			{Labels: []string{"throughput fault-free", "aggregate IPC"}, Values: []Value{Scalar(r.IPCFaultFree)}},
+			{Labels: []string{"throughput with faults", "aggregate IPC"}, Values: []Value{Scalar(r.IPCWithFaults)}},
+			{Labels: []string{"throughput retained", "percent of fault-free"},
+				Values: []Value{Scalar(100 * stats.SafeDiv(r.IPCWithFaults, r.IPCFaultFree))}},
+		},
+		Notes: []string{
+			"(paper: recovery latency orders of magnitude below crash/reboot; <1 ms)",
+		},
+	}
+}
+
 // Render prints the recovery-latency report.
-func (r *RecoveryResult) Render() string {
-	var b strings.Builder
-	b.WriteString("Recovery latency (§4.2: a sub-millisecond speed bump, not a crash)\n\n")
-	fmt.Fprintf(&b, "workload:                    %s\n", r.Workload)
-	fmt.Fprintf(&b, "recoveries:                  %d\n", r.Recoveries)
-	fmt.Fprintf(&b, "coordination latency:        %.0f ± %.0f cycles (%.3f ms at 1 GHz)\n",
-		r.CoordCycles.Mean(), r.CoordCycles.Stddev(), r.CoordCycles.Mean()/1e6)
-	fmt.Fprintf(&b, "lost work per recovery:      %.0f instructions (re-executed)\n", r.LostInstrsPerRecovery)
-	fmt.Fprintf(&b, "throughput fault-free:       %.3f IPC (aggregate)\n", r.IPCFaultFree)
-	fmt.Fprintf(&b, "throughput with faults:      %.3f IPC (aggregate, %.1f%% of fault-free)\n",
-		r.IPCWithFaults, 100*safeDiv(r.IPCWithFaults, r.IPCFaultFree))
-	b.WriteString("\n(paper: recovery latency orders of magnitude below crash/reboot; <1 ms)\n")
-	return b.String()
+func (r *RecoveryResult) Render() string { return r.Report().Render() }
+
+func init() {
+	Register(Experiment{
+		Name:        "recovery",
+		Title:       "Recovery latency",
+		Description: "recovery coordination latency and lost work under periodic transient faults (§4.2)",
+		Order:       5,
+		Grid:        recoveryGrid,
+		Reduce: func(_ config.Params, _ Options, pts []Point, res []RunResult) *Report {
+			return recoveryFold(pts, res).Report()
+		},
+	})
 }

@@ -4,13 +4,12 @@ import (
 	"fmt"
 
 	"safetynet/internal/config"
-	"safetynet/internal/stats"
 )
 
-// Table2 renders the target-system parameters in the shape of the paper's
-// Table 2.
-func Table2(p config.Params) string {
-	rows := [][]string{
+// Table2Report builds the target-system parameter table in the shape of
+// the paper's Table 2. It is the one experiment with no simulation grid.
+func Table2Report(p config.Params) *Report {
+	rows := [][2]string{
 		{"L1 Cache (I and D)", fmt.Sprintf("%d KB, %d-way set associative", p.L1Bytes>>10, p.L1Ways)},
 		{"L2 Cache", fmt.Sprintf("%d MB, %d-way set-associative", p.L2Bytes>>20, p.L2Ways)},
 		{"Memory", fmt.Sprintf("%d GB, %d byte blocks", p.MemoryBytesPerNode*uint64(p.NumNodes)>>30, p.BlockBytes)},
@@ -21,9 +20,19 @@ func Table2(p config.Params) string {
 		{"Outstanding Checkpoints", fmt.Sprintf("%d (detection tolerance %d cycles)", p.MaxOutstandingCheckpoints, p.DetectionToleranceCycles())},
 		{"Processors", fmt.Sprintf("%d, blocking, %d-wide non-memory issue", p.NumNodes, p.NonMemIPC)},
 	}
-	return "Table 2: Target System Parameters\n\n" +
-		stats.Table([]string{"Parameter", "Value"}, rows)
+	rep := &Report{
+		Experiment: "table2",
+		Title:      "Table 2: Target System Parameters",
+		LabelCols:  []string{"Parameter", "Value"},
+	}
+	for _, r := range rows {
+		rep.Rows = append(rep.Rows, Row{Labels: []string{r[0], r[1]}})
+	}
+	return rep
 }
+
+// Table2 renders the target-system parameters as text.
+func Table2(p config.Params) string { return Table2Report(p).Render() }
 
 // estimateTwoHopMiss computes the uncontended request-to-data latency of a
 // memory read from an average-distance node (the paper's 180 ns figure).
@@ -35,4 +44,16 @@ func estimateTwoHopMiss(p config.Params) uint64 {
 	req := (p.SwitchHopCycles + p.SerializationCycles(8)) * avgTraversals
 	resp := (p.SwitchHopCycles + p.SerializationCycles(8+p.BlockBytes)) * avgTraversals
 	return req + p.DirAccessCycles + p.MemAccessCycles + resp
+}
+
+func init() {
+	Register(Experiment{
+		Name:        "table2",
+		Title:       "Table 2: Target System Parameters",
+		Description: "the simulated target-system parameters (no simulation runs)",
+		Order:       0,
+		Reduce: func(base config.Params, _ Options, _ []Point, _ []RunResult) *Report {
+			return Table2Report(base)
+		},
+	})
 }

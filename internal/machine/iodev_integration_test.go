@@ -40,6 +40,9 @@ func TestOutputCommitHoldsUnvalidatedOutputs(t *testing.T) {
 // faults and recoveries form exactly the fault-free sequence — nothing
 // lost, nothing duplicated, nothing out of order.
 func TestOutputCommitExactlyOnceAcrossRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
 	collect := func(m *Machine) [][]uint64 {
 		out := make([][]uint64, len(m.Nodes))
 		for i, n := range m.Nodes {

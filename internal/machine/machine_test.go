@@ -175,6 +175,9 @@ func TestDroppedMessageCrashesUnprotected(t *testing.T) {
 }
 
 func TestKilledSwitchRecoversAndContinues(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
 	// A half-switch kill only forces a recovery if messages were lost in
 	// it; scan kill times deterministically until one catches traffic.
 	var m *Machine

@@ -79,6 +79,9 @@ func TestServiceControllerFailover(t *testing.T) {
 // TestRepeatedRecoveries hammers the system with frequent transient
 // faults; it must keep making forward progress and stay coherent.
 func TestRepeatedRecoveries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
 	m := stressMachine(t, true, 13)
 	disarm := m.Net.InjectDropEvery(50_000, 120_000)
 	m.Start()
@@ -146,6 +149,9 @@ func TestCLBBackpressureDoesNotDeadlock(t *testing.T) {
 // the loss into a recovery, never a hang (paper §3.5: "any lost message
 // will prevent recovery point advancement").
 func TestDroppedControlMessageRecoversViaWatchdog(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
 	m := stressMachine(t, true, 15)
 	dropped := false
 	m.Net.AddDropRule(func(mm *msg.Message) bool {

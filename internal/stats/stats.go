@@ -91,6 +91,22 @@ func Overlaps(a, b *Sample) bool {
 	return aLo <= bHi && bLo <= aHi
 }
 
+// Pct formats num/den as a percentage, or "n/a" for a zero denominator.
+func Pct(num, den uint64) string {
+	if den == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2f%%", 100*float64(num)/float64(den))
+}
+
+// SafeDiv returns a/b, or 0 when b is zero.
+func SafeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
 // Bar renders a crude horizontal bar of the given relative value in
 // [0, max] using width runes; used for figure-like terminal output.
 func Bar(value, max float64, width int) string {

@@ -102,3 +102,27 @@ func TestStddevProperties(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPct(t *testing.T) {
+	if got := Pct(1, 0); got != "n/a" {
+		t.Fatalf("Pct(1,0) = %q", got)
+	}
+	if got := Pct(1, 4); got != "25.00%" {
+		t.Fatalf("Pct(1,4) = %q", got)
+	}
+	if got := Pct(0, 3); got != "0.00%" {
+		t.Fatalf("Pct(0,3) = %q", got)
+	}
+}
+
+func TestSafeDiv(t *testing.T) {
+	if got := SafeDiv(6, 3); got != 2 {
+		t.Fatalf("SafeDiv(6,3) = %v", got)
+	}
+	if got := SafeDiv(1, 0); got != 0 {
+		t.Fatalf("SafeDiv(1,0) = %v", got)
+	}
+	if got := SafeDiv(0, 0); got != 0 {
+		t.Fatalf("SafeDiv(0,0) = %v", got)
+	}
+}

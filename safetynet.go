@@ -22,8 +22,12 @@
 //	fmt.Println(sys.Summary())
 //
 // The experiment harness regenerating every table and figure of the
-// paper's evaluation is exposed through RunTable2, RunFig5 ... RunDetect;
-// cmd/snbench wraps them.
+// paper's evaluation is exposed through a registry: Experiments() lists
+// the catalog and RunExperiment runs one entry, optionally fanning its
+// independent simulations across a worker pool, and returns a structured
+// Report that renders as text and marshals to JSON or CSV. RunTable2,
+// RunFig5 ... RunDetect remain as thin wrappers; cmd/snbench drives the
+// registry.
 package safetynet
 
 import (
@@ -31,9 +35,11 @@ import (
 	"strings"
 
 	"safetynet/internal/config"
+	"safetynet/internal/fault"
 	"safetynet/internal/harness"
 	"safetynet/internal/machine"
 	"safetynet/internal/sim"
+	"safetynet/internal/topology"
 	"safetynet/internal/workload"
 )
 
@@ -93,24 +99,68 @@ func (s *System) RunFor(cycles uint64) uint64 {
 // Now returns the current simulation time in cycles.
 func (s *System) Now() uint64 { return uint64(s.m.Eng.Now()) }
 
-// InjectDropOnce arms a one-shot transient interconnect fault: the first
+// ---------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------
+
+// FaultEvent is one typed fault of a composable plan; build events with
+// DropOnce, DropEvery, KillEWSwitch, KillNSSwitch, CorruptOnce,
+// MisrouteOnce and DuplicateOnce, and arm any combination with
+// System.Inject — a single run can layer faults (e.g. periodic message
+// drops plus a half-switch kill).
+type FaultEvent = fault.Event
+
+// FaultPlan is an ordered list of fault events armed together on one
+// run; the zero value is fault-free.
+type FaultPlan = fault.Plan
+
+// DropOnce is a one-shot transient interconnect fault: the first
 // data-bearing coherence message sent at or after the given cycle is lost
 // (paper Table 1, "Dropped Message").
-func (s *System) InjectDropOnce(atCycle uint64) {
-	s.m.Net.InjectDropOnce(sim.Time(atCycle))
+func DropOnce(atCycle uint64) FaultEvent {
+	return fault.DropOnce{At: sim.Time(atCycle)}
 }
 
-// InjectDropEvery arms periodic transient faults: one message lost per
-// period (Experiment 2 drops one per 100M cycles — ten per second).
-func (s *System) InjectDropEvery(startCycle, periodCycles uint64) {
-	s.m.Net.InjectDropEvery(sim.Time(startCycle), sim.Time(periodCycles))
+// DropEvery is the periodic transient fault of Experiment 2: one message
+// lost per period (the paper drops one per 100M cycles — ten per second).
+func DropEvery(startCycle, periodCycles uint64) FaultEvent {
+	return fault.DropEvery{Start: sim.Time(startCycle), Period: sim.Time(periodCycles)}
 }
 
-// KillSwitch schedules the hard fault of Experiment 3: node's east-west
+// KillEWSwitch is the hard fault of Experiment 3: the node's east-west
 // half-switch dies at the given cycle, losing its buffered messages;
 // routing reconfigures around it (paper Table 1, "Failed Switch").
-func (s *System) KillSwitch(node int, atCycle uint64) {
-	s.m.Net.KillSwitchAt(s.m.Topo.EWSwitch(node), sim.Time(atCycle))
+func KillEWSwitch(node int, atCycle uint64) FaultEvent {
+	return fault.KillSwitch{Node: node, Axis: topology.EW, At: sim.Time(atCycle)}
+}
+
+// KillNSSwitch kills the node's north-south half-switch instead.
+func KillNSSwitch(node int, atCycle uint64) FaultEvent {
+	return fault.KillSwitch{Node: node, Axis: topology.NS, At: sim.Time(atCycle)}
+}
+
+// CorruptOnce damages one data-bearing coherence message in flight; the
+// endpoint's error-detecting code discovers it (the paper's CRC example).
+func CorruptOnce(atCycle uint64) FaultEvent {
+	return fault.CorruptOnce{At: sim.Time(atCycle)}
+}
+
+// MisrouteOnce delivers one data-bearing coherence message to the wrong
+// node (paper §5.1).
+func MisrouteOnce(atCycle uint64) FaultEvent {
+	return fault.MisrouteOnce{At: sim.Time(atCycle)}
+}
+
+// DuplicateOnce delivers one coherence message twice (paper §5.1).
+func DuplicateOnce(atCycle uint64) FaultEvent {
+	return fault.DuplicateOnce{At: sim.Time(atCycle)}
+}
+
+// Inject arms the given fault events on this system, in order. Call it
+// before Start; an event with impossible parameters reports an error and
+// arms nothing further.
+func (s *System) Inject(events ...FaultEvent) error {
+	return fault.Plan(events).Arm(fault.Target{Net: s.m.Net, Topo: s.m.Topo})
 }
 
 // Result summarizes a run.
@@ -206,6 +256,35 @@ func DefaultOptions() ExperimentOptions { return harness.DefaultOptions() }
 
 // QuickOptions trades precision for speed.
 func QuickOptions() ExperimentOptions { return harness.QuickOptions() }
+
+// Report is the structured result of one experiment: labeled design
+// points with mean ± stddev values and crash markers. Render prints the
+// paper-style text table; JSON and CSV marshal it losslessly.
+type Report = harness.Report
+
+// ExperimentInfo describes one registered experiment.
+type ExperimentInfo struct {
+	Name        string
+	Title       string
+	Description string
+}
+
+// Experiments lists the registered experiment catalog in paper order.
+func Experiments() []ExperimentInfo {
+	var out []ExperimentInfo
+	for _, e := range harness.Experiments() {
+		out = append(out, ExperimentInfo{Name: e.Name, Title: e.Title, Description: e.Description})
+	}
+	return out
+}
+
+// RunExperiment runs one registered experiment against the given
+// configuration. Options.Parallelism > 1 fans the experiment's
+// independent simulations across that many workers without changing any
+// result. Unknown names report the valid ones.
+func RunExperiment(name string, cfg Config, o ExperimentOptions) (*Report, error) {
+	return harness.RunExperiment(name, cfg, o)
+}
 
 // RunTable2 renders the target-system parameter table.
 func RunTable2(cfg Config) string { return harness.Table2(cfg) }

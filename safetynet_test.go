@@ -73,7 +73,9 @@ func TestFaultInjectionThroughFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	up.InjectDropOnce(200_000)
+	if err := up.Inject(DropOnce(200_000)); err != nil {
+		t.Fatal(err)
+	}
 	up.Start()
 	up.Run(2_000_000)
 	if !up.Result().Crashed {
@@ -84,7 +86,9 @@ func TestFaultInjectionThroughFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sn.InjectDropOnce(200_000)
+	if err := sn.Inject(DropOnce(200_000)); err != nil {
+		t.Fatal(err)
+	}
 	sn.Start()
 	sn.Run(2_000_000)
 	r := sn.Result()
@@ -104,7 +108,9 @@ func TestKillSwitchThroughFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sys.KillSwitch(5, 100_000)
+	if err := sys.Inject(KillEWSwitch(5, 100_000)); err != nil {
+		t.Fatal(err)
+	}
 	sys.Start()
 	sys.Run(1_500_000)
 	if sys.Result().Crashed {
