@@ -12,7 +12,10 @@ import (
 	"safetynet/internal/config"
 	"safetynet/internal/harness"
 	"safetynet/internal/machine"
+	"safetynet/internal/msg"
+	"safetynet/internal/network"
 	"safetynet/internal/sim"
+	"safetynet/internal/topology"
 	"safetynet/internal/workload"
 )
 
@@ -142,6 +145,53 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		}
 	}
 	b.ReportMetric(1e6*float64(b.N)/b.Elapsed().Seconds(), "sim-cycles/s")
+}
+
+// BenchmarkEngineSchedule isolates the event queue: a self-rescheduling
+// event mix of near-term work and canceled long timers, the simulator's
+// characteristic load. Steady state should be allocation-free.
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := sim.NewEngine()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		c := e.ScheduleCancelable(e.Now()+100_000, func() {})
+		c.Cancel()
+		e.After(sim.Time(1+n%7), tick)
+	}
+	e.Schedule(0, tick)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Run(e.Now() + 64)
+	}
+}
+
+// BenchmarkNetworkSend isolates routing, link contention, and hop
+// traversal: all-to-all control traffic on the 4x4 torus. Steady state
+// should be allocation-free (pooled messages, cached routes, pooled
+// traversal state).
+func BenchmarkNetworkSend(b *testing.B) {
+	eng := sim.NewEngine()
+	topo := topology.New(4, 4)
+	nw := network.New(eng, topo, config.Default())
+	for n := 0; n < topo.Nodes(); n++ {
+		nw.Attach(n, msg.Release)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src, dst := i%16, (i*7+3)%16
+		m := msg.Alloc()
+		*m = msg.Message{Type: msg.GETS, Src: src, Dst: dst}
+		nw.Send(m)
+		if i%64 == 63 {
+			eng.Run(eng.Now() + 512)
+		}
+	}
+	eng.Run(eng.Now() + 100_000)
+	if s := nw.Stats(); s.Delivered == 0 {
+		b.Fatal("nothing delivered")
+	}
 }
 
 // BenchmarkFaultFreeCheckpointing isolates SafetyNet's common-case cost:

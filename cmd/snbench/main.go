@@ -7,6 +7,8 @@
 //	snbench -exp fig6                # one experiment
 //	snbench -exp fig6 -format json   # structured output
 //	snbench -j 8                     # fan runs across 8 workers
+//	snbench -quick -cpuprofile cpu.prof -memprofile mem.prof
+//	                                 # profile the simulator's hot paths
 package main
 
 import (
@@ -15,35 +17,72 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"safetynet"
 )
 
+// main delegates to run so deferred cleanup — flushing the CPU profile,
+// writing the heap profile — happens on every exit path, including errors.
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		exp    = flag.String("exp", "all", "experiment name (see -list), or all")
-		list   = flag.Bool("list", false, "list registered experiments and exit")
-		quick  = flag.Bool("quick", false, "single-run, short-window sizing")
-		runs   = flag.Int("runs", 0, "override the number of perturbed runs per point")
-		par    = flag.Int("j", runtime.NumCPU(), "simulations run in parallel (1 = serial)")
-		format = flag.String("format", "text", "output format: text, json, csv")
+		exp        = flag.String("exp", "all", "experiment name (see -list), or all")
+		list       = flag.Bool("list", false, "list registered experiments and exit")
+		quick      = flag.Bool("quick", false, "single-run, short-window sizing")
+		runs       = flag.Int("runs", 0, "override the number of perturbed runs per point")
+		par        = flag.Int("j", runtime.NumCPU(), "simulations run in parallel (1 = serial)")
+		format     = flag.String("format", "text", "output format: text, json, csv")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "snbench: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "snbench: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "snbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "snbench: %v\n", err)
+			}
+		}()
+	}
 
 	catalog := safetynet.Experiments()
 	if *list {
 		for _, e := range catalog {
 			fmt.Printf("%-10s %s\n", e.Name, e.Description)
 		}
-		return
+		return 0
 	}
 
 	switch *format {
 	case "text", "json", "csv":
 	default:
 		fmt.Fprintf(os.Stderr, "snbench: unknown format %q (have text, json, csv)\n", *format)
-		os.Exit(1)
+		return 1
 	}
 
 	cfg := safetynet.DefaultConfig()
@@ -66,7 +105,7 @@ func main() {
 	}
 	if *format == "csv" && len(selected) > 1 {
 		fmt.Fprintln(os.Stderr, "snbench: -format csv needs a single experiment (experiments have different columns); pass -exp")
-		os.Exit(1)
+		return 1
 	}
 
 	var reports []*safetynet.Report
@@ -75,7 +114,7 @@ func main() {
 		rep, err := safetynet.RunExperiment(name, cfg, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "snbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		if *format == "json" {
 			// Collect so a multi-experiment run emits one parseable
@@ -86,7 +125,7 @@ func main() {
 		out, err := rep.Encode(*format)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "snbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		if *format == "text" {
 			fmt.Println("==================================================================")
@@ -106,8 +145,9 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "snbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println(string(out))
 	}
+	return 0
 }

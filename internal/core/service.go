@@ -215,7 +215,9 @@ func (c *Controller) tryAdvance() {
 
 func (c *Controller) broadcast(t msg.Type, cn msg.CN) {
 	for n := 0; n < c.numNodes; n++ {
-		c.send(&msg.Message{Type: t, Src: c.home, Dst: n, CN: cn})
+		m := msg.Alloc()
+		*m = msg.Message{Type: t, Src: c.home, Dst: n, CN: cn}
+		c.send(m)
 	}
 }
 

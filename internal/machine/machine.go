@@ -208,7 +208,9 @@ func (m *Machine) faultReporter(node int) func(string) {
 			return
 		}
 		for _, home := range m.svcHomes {
-			m.Net.Send(&msg.Message{Type: msg.RecoverReq, Src: node, Dst: home})
+			req := msg.Alloc()
+			*req = msg.Message{Type: msg.RecoverReq, Src: node, Dst: home}
+			m.Net.Send(req)
 		}
 	}
 }
@@ -235,6 +237,8 @@ func (m *Machine) flushToMem(addr, data uint64) {
 // ---------------------------------------------------------------------
 
 // deliver dispatches a message arriving at this node's network interface.
+// Protocol messages pass ownership to their controller; coordination
+// messages are consumed synchronously and released here.
 func (n *Node) deliver(mm *msg.Message) {
 	switch mm.Type {
 	case msg.GETS, msg.GETX, msg.PUTX, msg.AckDone:
@@ -248,11 +252,17 @@ func (n *Node) deliver(mm *msg.Message) {
 				n.m.Svc[i].Handle(mm)
 			}
 		}
+		msg.Release(mm)
 	case msg.RPCNBcast:
-		n.onValidate(mm.CN)
+		cn := mm.CN
+		msg.Release(mm)
+		n.onValidate(cn)
 	case msg.Recover:
-		n.onRecover(mm.CN)
+		cn := mm.CN
+		msg.Release(mm)
+		n.onRecover(cn)
 	case msg.Restart:
+		msg.Release(mm)
 		n.onRestart()
 	default:
 		panic(fmt.Sprintf("machine: node %d got %v", n.ID, mm))
@@ -311,7 +321,9 @@ func (n *Node) evalReady() {
 	}
 	n.lastReady = r
 	for _, home := range n.m.svcHomes {
-		n.m.Net.Send(&msg.Message{Type: msg.CkptReady, Src: n.ID, Dst: home, CN: r})
+		rdy := msg.Alloc()
+		*rdy = msg.Message{Type: msg.CkptReady, Src: n.ID, Dst: home, CN: r}
+		n.m.Net.Send(rdy)
 	}
 }
 
@@ -368,7 +380,9 @@ func (n *Node) onRecover(rpcn msg.CN) {
 	cost := sim.Time(1000 + 8*entries + int(n.m.P.RegisterCheckpointCycles))
 	n.m.Eng.After(cost, func() {
 		for _, home := range n.m.svcHomes {
-			n.m.Net.Send(&msg.Message{Type: msg.RecoverDone, Src: n.ID, Dst: home})
+			done := msg.Alloc()
+			*done = msg.Message{Type: msg.RecoverDone, Src: n.ID, Dst: home}
+			n.m.Net.Send(done)
 		}
 	})
 }

@@ -3,9 +3,17 @@
 // coordination (checkpoint validation, recovery, restart). Keeping it in
 // one leaf package lets the network stay ignorant of protocol semantics
 // while the protocol stays ignorant of routing.
+//
+// Messages are pooled: hot paths obtain them with Alloc, hand ownership to
+// Network.Send, and the terminal consumer (the delivery handler, or the
+// network's drop path) returns them with Release. See the ownership rules
+// on Alloc.
 package msg
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // CN is a checkpoint number. Zero is the null CN: the block (or message)
 // belongs to the recovery point and every later checkpoint (paper §3.3).
@@ -192,4 +200,30 @@ type Message struct {
 // String renders a compact debug form.
 func (m *Message) String() string {
 	return fmt.Sprintf("%s %d->%d addr=%#x cn=%d txn=%d", m.Type, m.Src, m.Dst, m.Addr, m.CN, m.Txn)
+}
+
+// pool recycles Message values across send sites. sync.Pool keeps the
+// free lists per-P, so the harness's parallel simulation runner shares it
+// without contention.
+var pool = sync.Pool{New: func() any { return new(Message) }}
+
+// Alloc returns a Message from the pool. Its fields are unspecified; the
+// caller must assign a full literal (*m = Message{...}) before use.
+//
+// Ownership: the allocator owns the message until it hands it to
+// Network.Send, which passes ownership to the delivery handler (or to the
+// drop path, which Releases internally). A handler that defers work
+// capturing the message keeps ownership until that work completes. Exactly
+// one owner must eventually call Release; messages built with plain
+// &Message{} literals (tests) may skip Release entirely.
+func Alloc() *Message {
+	return pool.Get().(*Message)
+}
+
+// Release returns a message to the pool. The caller must not touch m
+// afterwards. Releasing nil is a no-op.
+func Release(m *Message) {
+	if m != nil {
+		pool.Put(m)
+	}
 }

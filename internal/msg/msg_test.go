@@ -67,3 +67,38 @@ func TestNullCN(t *testing.T) {
 		t.Fatal("the null checkpoint number must be the zero value")
 	}
 }
+
+func TestPoolRoundTrip(t *testing.T) {
+	m := Alloc()
+	*m = Message{Type: GETX, Src: 1, Dst: 2, Addr: 0x40, Txn: 9}
+	if m.Type != GETX || m.Txn != 9 {
+		t.Fatalf("assignment through pooled message lost fields: %+v", m)
+	}
+	Release(m)
+	Release(nil) // no-op
+
+	// Pool reuse must not leak the previous occupant's fields once the
+	// owner assigns a fresh literal (the required Alloc protocol).
+	m2 := Alloc()
+	*m2 = Message{Type: Data, Src: 3, Dst: 4}
+	if m2.Txn != 0 || m2.Addr != 0 || m2.HaveData {
+		t.Fatalf("full-literal assignment must reset all fields: %+v", m2)
+	}
+	Release(m2)
+}
+
+// Steady-state message churn through the pool must not allocate.
+func TestPoolDoesNotAllocateSteadyState(t *testing.T) {
+	// Warm the pool.
+	for i := 0; i < 64; i++ {
+		Release(Alloc())
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		m := Alloc()
+		*m = Message{Type: InvAck, Src: 5, Dst: 6}
+		Release(m)
+	})
+	if avg > 0.1 {
+		t.Fatalf("pooled alloc/release allocates %.2f objects per op", avg)
+	}
+}

@@ -47,8 +47,16 @@ type Stats struct {
 	HopsTotal  uint64
 }
 
-type linkKey struct {
-	from, to int // switch IDs, or -(node+1) for node endpoints
+// transit is the traversal state of one in-flight message: its cached
+// route, current position, and per-link serialization cost. Transits are
+// recycled through a per-network free list and dispatched through the
+// engine's arg-passing scheduler, so a hop costs no allocation.
+type transit struct {
+	m     *msg.Message
+	route []topology.SwitchID
+	idx   int
+	ser   sim.Time
+	next  *transit // free-list link
 }
 
 // Network delivers messages between node network interfaces across the
@@ -59,7 +67,17 @@ type Network struct {
 	topo     *topology.Torus
 	p        config.Params
 	handlers []Handler
-	busy     map[linkKey]sim.Time
+	// busy holds per-link release times in a dense table indexed by
+	// from*nEnt+to over link endpoints (half-switches 0..2N-1, node
+	// interfaces 2N..3N-1).
+	busy []sim.Time
+	nEnt int
+
+	// stepFn/deliverFn are bound once so ScheduleArg calls don't allocate
+	// a closure per hop.
+	stepFn      func(any)
+	deliverFn   func(any)
+	freeTransit *transit
 
 	epoch      int
 	recovering bool
@@ -73,14 +91,36 @@ type Network struct {
 // New builds a network over the given torus using the timing parameters in
 // p. Handlers start nil; Attach them before sending.
 func New(eng *sim.Engine, topo *topology.Torus, p config.Params) *Network {
-	return &Network{
+	nEnt := 3 * topo.Nodes() // 2N half-switches + N node interfaces
+	nw := &Network{
 		eng:      eng,
 		topo:     topo,
 		p:        p,
 		handlers: make([]Handler, topo.Nodes()),
-		busy:     make(map[linkKey]sim.Time),
+		busy:     make([]sim.Time, nEnt*nEnt),
+		nEnt:     nEnt,
 		stats:    Stats{Dropped: make(map[DropReason]uint64)},
 	}
+	nw.stepFn = nw.step
+	nw.deliverFn = nw.deliverArg
+	return nw
+}
+
+// nodeEnt returns the link-endpoint index of node n's network interface.
+func (nw *Network) nodeEnt(n int) int { return 2*nw.topo.Nodes() + n }
+
+func (nw *Network) allocTransit() *transit {
+	if t := nw.freeTransit; t != nil {
+		nw.freeTransit = t.next
+		return t
+	}
+	return &transit{}
+}
+
+func (nw *Network) releaseTransit(t *transit) {
+	t.m, t.route = nil, nil
+	t.next = nw.freeTransit
+	nw.freeTransit = t
 }
 
 // Attach registers the delivery handler for node n.
@@ -203,10 +243,11 @@ func (nw *Network) InjectDuplicateOnce(at sim.Time) {
 		}
 		fired = true
 		nw.stats.Duplicated++
-		copy := *m
-		// Re-inject the copy after this send completes; drop rules are
-		// consulted again but fired is already set.
-		nw.eng.After(1, func() { nw.Send(&copy) })
+		dup := msg.Alloc()
+		*dup = *m
+		// Re-inject the duplicate after this send completes; drop rules
+		// are consulted again but fired is already set.
+		nw.eng.After(1, func() { nw.Send(dup) })
 		return false
 	})
 }
@@ -257,7 +298,7 @@ func (nw *Network) Send(m *msg.Message) {
 	if m.Src == m.Dst {
 		// Local traffic bypasses the torus through the node's own
 		// network interface.
-		nw.eng.After(sim.Time(nw.p.SwitchHopCycles), func() { nw.deliver(m) })
+		nw.eng.AfterArg(sim.Time(nw.p.SwitchHopCycles), nw.deliverFn, m)
 		return
 	}
 
@@ -267,45 +308,57 @@ func (nw *Network) Send(m *msg.Message) {
 		return
 	}
 	ser := sim.Time(nw.p.SerializationCycles(size))
-	depart := nw.occupy(linkKey{-(m.Src + 1), int(route[0])}, ser)
+	t := nw.allocTransit()
+	t.m, t.route, t.idx, t.ser = m, route, 0, ser
+	depart := nw.occupy(nw.nodeEnt(m.Src), int(route[0]), ser)
 	arrive := depart + ser + sim.Time(nw.p.SwitchHopCycles)
-	nw.eng.Schedule(arrive, func() { nw.hop(m, route, 0, ser) })
+	nw.eng.ScheduleArg(arrive, nw.stepFn, t)
 }
 
-// hop runs when m arrives at route[idx].
-func (nw *Network) hop(m *msg.Message, route []topology.SwitchID, idx int, ser sim.Time) {
+// step runs when a message arrives at its next half-switch (or, once the
+// route is exhausted, at the destination's network interface).
+func (nw *Network) step(a any) {
+	t := a.(*transit)
+	if t.idx == len(t.route) {
+		m := t.m
+		nw.releaseTransit(t)
+		nw.deliver(m)
+		return
+	}
 	nw.stats.HopsTotal++
-	cur := route[idx]
+	cur := t.route[t.idx]
 	if !nw.topo.Alive(cur) {
+		m := t.m
+		nw.releaseTransit(t)
 		nw.drop(m, DropDeadSwitch)
 		return
 	}
-	var link linkKey
-	last := idx == len(route)-1
-	if last {
-		link = linkKey{int(cur), -(m.Dst + 1)}
+	var to int
+	if t.idx == len(t.route)-1 {
+		to = nw.nodeEnt(t.m.Dst)
 	} else {
-		link = linkKey{int(cur), int(route[idx+1])}
+		to = int(t.route[t.idx+1])
 	}
-	depart := nw.occupy(link, ser)
-	arrive := depart + ser + sim.Time(nw.p.SwitchHopCycles)
-	if last {
-		nw.eng.Schedule(arrive, func() { nw.deliver(m) })
-		return
-	}
-	nw.eng.Schedule(arrive, func() { nw.hop(m, route, idx+1, ser) })
+	depart := nw.occupy(int(cur), to, t.ser)
+	arrive := depart + t.ser + sim.Time(nw.p.SwitchHopCycles)
+	t.idx++
+	nw.eng.ScheduleArg(arrive, nw.stepFn, t)
 }
 
-// occupy reserves a link for ser cycles starting no earlier than now and
-// returns the departure time.
-func (nw *Network) occupy(l linkKey, ser sim.Time) sim.Time {
+// occupy reserves the from->to link for ser cycles starting no earlier
+// than now and returns the departure time.
+func (nw *Network) occupy(from, to int, ser sim.Time) sim.Time {
+	li := from*nw.nEnt + to
 	depart := nw.eng.Now()
-	if b, ok := nw.busy[l]; ok && b > depart {
+	if b := nw.busy[li]; b > depart {
 		depart = b
 	}
-	nw.busy[l] = depart + ser
+	nw.busy[li] = depart + ser
 	return depart
 }
+
+// deliverArg adapts deliver to the engine's arg-passing scheduler.
+func (nw *Network) deliverArg(a any) { nw.deliver(a.(*msg.Message)) }
 
 func (nw *Network) deliver(m *msg.Message) {
 	if m.Type.IsCoherence() {
@@ -319,12 +372,16 @@ func (nw *Network) deliver(m *msg.Message) {
 		}
 	}
 	nw.stats.Delivered++
+	// Ownership of m passes to the handler, which releases it (directly
+	// or once any deferred processing it schedules completes).
 	nw.handlers[m.Dst](m)
 }
 
+// drop consumes m: after the callback it returns to the message pool.
 func (nw *Network) drop(m *msg.Message, r DropReason) {
 	nw.stats.Dropped[r]++
 	if nw.onDrop != nil {
 		nw.onDrop(m, r)
 	}
+	msg.Release(m)
 }

@@ -97,6 +97,11 @@ type CacheController struct {
 	wbs         map[uint64]*wbEntry
 	outstanding map[msg.CN]int
 
+	// serveFwd*Fn are bound once so deferring a forwarded request does
+	// not allocate a closure per message.
+	serveFwdGETSFn func(any)
+	serveFwdGETXFn func(any)
+
 	stats CacheStats
 
 	// OnFault reports a detected fault (request timeout). The machine
@@ -124,6 +129,8 @@ func NewCacheController(node int, eng *sim.Engine, nw *network.Network, p config
 	if cc.sn {
 		cc.clb = core.NewCLB(p.CLBBytes/2, p.CLBEntryBytes)
 	}
+	cc.serveFwdGETSFn = cc.serveFwdGETSArg
+	cc.serveFwdGETXFn = cc.serveFwdGETXArg
 	return cc
 }
 
@@ -411,17 +418,17 @@ func (cc *CacheController) sendRequest(m *mshr) {
 		}
 	}
 	cc.stats.RequestsIssued++
-	cc.nw.Send(&msg.Message{
+	req := msg.Alloc()
+	*req = msg.Message{
 		Type: t, Src: cc.node, Dst: cc.home(m.addr), Addr: m.addr,
 		Txn: m.txn, HaveData: haveData,
-	})
+	}
+	cc.nw.Send(req)
 	cc.armMSHRTimeout(m)
 }
 
 func (cc *CacheController) armMSHRTimeout(m *mshr) {
-	if m.cancelTimeout != nil {
-		m.cancelTimeout()
-	}
+	m.cancelTimeout.Cancel()
 	m.cancelTimeout = cc.eng.ScheduleCancelable(cc.eng.Now()+sim.Time(cc.p.RequestTimeoutCycles), func() {
 		cc.stats.Timeouts++
 		if cc.OnFault != nil {
@@ -431,9 +438,7 @@ func (cc *CacheController) armMSHRTimeout(m *mshr) {
 }
 
 func (cc *CacheController) completeTxn(m *mshr) {
-	if m.cancelTimeout != nil {
-		m.cancelTimeout()
-	}
+	m.cancelTimeout.Cancel()
 	delete(cc.mshrs, m.addr)
 	cc.outstanding[m.startCCN]--
 	if cc.outstanding[m.startCCN] == 0 {
@@ -454,6 +459,9 @@ func (cc *CacheController) retryBackoff() sim.Time {
 // ---------------------------------------------------------------------
 
 // Handle processes a message delivered to this node's cache controller.
+// It owns m: synchronous cases release it here, while the Data and
+// forwarded-request paths keep it alive across their deferred processing
+// and release it on their terminal paths.
 func (cc *CacheController) Handle(m *msg.Message) {
 	if m.Corrupted {
 		// The end-point error-detecting code catches the damage; the
@@ -462,11 +470,19 @@ func (cc *CacheController) Handle(m *msg.Message) {
 		if cc.OnFault != nil {
 			cc.OnFault(fmt.Sprintf("node %d: corrupt %v detected by CRC", cc.node, m.Type))
 		}
+		msg.Release(m)
 		return
 	}
 	switch m.Type {
 	case msg.Data:
-		cc.onData(m)
+		cc.onData(m) // releases m on its terminal paths
+		return
+	case msg.FwdGETS:
+		cc.onFwdGETS(m) // releases m when the deferred serve completes
+		return
+	case msg.FwdGETX:
+		cc.onFwdGETX(m) // releases m when the deferred serve completes
+		return
 	case msg.DataEx:
 		cc.onDataEx(m)
 	case msg.AckCount:
@@ -475,10 +491,6 @@ func (cc *CacheController) Handle(m *msg.Message) {
 		cc.onInvAck(m)
 	case msg.Inv:
 		cc.onInv(m)
-	case msg.FwdGETS:
-		cc.onFwdGETS(m)
-	case msg.FwdGETX:
-		cc.onFwdGETX(m)
 	case msg.NackReq:
 		cc.onNack(m)
 	case msg.WBAck, msg.WBStale:
@@ -486,25 +498,31 @@ func (cc *CacheController) Handle(m *msg.Message) {
 	default:
 		panic(fmt.Sprintf("protocol: cache controller got %v", m))
 	}
+	msg.Release(m)
 }
 
 func (cc *CacheController) onData(m *msg.Message) {
 	mm := cc.mshrs[m.Addr]
 	if mm == nil || mm.txn != m.Txn || mm.isStore {
+		msg.Release(m)
 		return // stale response from a superseded attempt
 	}
 	if _, ok := cc.installL2(m.Addr, cache.Shared, m.CN, m.Data); !ok {
 		// Every candidate victim needs a log entry and the CLB is full;
-		// throttle until validation frees space (paper §3.3).
+		// throttle until validation frees space (paper §3.3). m stays
+		// alive across the retry.
 		cc.stats.CLBStallCycles += clbRetryCycles
 		cc.eng.After(clbRetryCycles, func() { cc.onData(m) })
 		return
 	}
 	if m.NeedsAck {
-		cc.nw.Send(&msg.Message{Type: msg.AckDone, Src: cc.node, Dst: cc.home(m.Addr), Addr: m.Addr, CN: m.CN, Txn: m.Txn})
+		ack := msg.Alloc()
+		*ack = msg.Message{Type: msg.AckDone, Src: cc.node, Dst: cc.home(m.Addr), Addr: m.Addr, CN: m.CN, Txn: m.Txn}
+		cc.nw.Send(ack)
 	}
 	done := mm.doneLoad
 	data := m.Data
+	msg.Release(m)
 	cc.completeTxn(mm)
 	done(data)
 }
@@ -620,7 +638,9 @@ func (cc *CacheController) tryCompleteGETX(mm *mshr) {
 	}
 	l2.Data = mm.storeVal
 	cc.fillL1(mm.addr)
-	cc.nw.Send(&msg.Message{Type: msg.AckDone, Src: cc.node, Dst: cc.home(mm.addr), Addr: mm.addr, CN: mm.dataCN, Txn: mm.txn})
+	ack := msg.Alloc()
+	*ack = msg.Message{Type: msg.AckDone, Src: cc.node, Dst: cc.home(mm.addr), Addr: mm.addr, CN: mm.dataCN, Txn: mm.txn}
+	cc.nw.Send(ack)
 	done := mm.doneStore
 	cc.completeTxn(mm)
 	cc.eng.After(sim.Time(cc.p.L1HitCycles), done)
@@ -633,14 +653,19 @@ func (cc *CacheController) onInv(m *msg.Message) {
 	}
 	cc.l2.Invalidate(m.Addr)
 	cc.l1.Invalidate(m.Addr)
-	cc.nw.Send(&msg.Message{Type: msg.InvAck, Src: cc.node, Dst: m.Requestor, Addr: m.Addr, Txn: m.Txn})
+	ack := msg.Alloc()
+	*ack = msg.Message{Type: msg.InvAck, Src: cc.node, Dst: m.Requestor, Addr: m.Addr, Txn: m.Txn}
+	cc.nw.Send(ack)
 }
 
 func (cc *CacheController) onFwdGETS(m *msg.Message) {
-	cc.eng.After(sim.Time(cc.p.L2HitCycles), func() { cc.serveFwdGETS(m) })
+	cc.eng.AfterArg(sim.Time(cc.p.L2HitCycles), cc.serveFwdGETSFn, m)
 }
 
+func (cc *CacheController) serveFwdGETSArg(a any) { cc.serveFwdGETS(a.(*msg.Message)) }
+
 func (cc *CacheController) serveFwdGETS(m *msg.Message) {
+	defer msg.Release(m)
 	if m.Epoch != cc.nw.Epoch() {
 		return // a recovery landed while the request sat in the controller
 	}
@@ -668,15 +693,19 @@ func (cc *CacheController) serveFwdGETS(m *msg.Message) {
 	if cc.sn {
 		cn = core.UpdatedCN(cc.ccn)
 	}
-	cc.nw.Send(&msg.Message{
+	resp := msg.Alloc()
+	*resp = msg.Message{
 		Type: msg.Data, Src: cc.node, Dst: m.Requestor, Addr: m.Addr,
 		Data: data, CN: cn, NeedsAck: true, Txn: m.Txn,
-	})
+	}
+	cc.nw.Send(resp)
 }
 
 func (cc *CacheController) onFwdGETX(m *msg.Message) {
-	cc.eng.After(sim.Time(cc.p.L2HitCycles), func() { cc.serveFwdGETX(m) })
+	cc.eng.AfterArg(sim.Time(cc.p.L2HitCycles), cc.serveFwdGETXFn, m)
 }
+
+func (cc *CacheController) serveFwdGETXArg(a any) { cc.serveFwdGETX(a.(*msg.Message)) }
 
 // serveFwdGETX transfers ownership out of the cache (or the writeback
 // buffer): log the block under the update-action rule, invalidate the
@@ -685,6 +714,7 @@ func (cc *CacheController) onFwdGETX(m *msg.Message) {
 // response with the block and the updated CN").
 func (cc *CacheController) serveFwdGETX(m *msg.Message) {
 	if m.Epoch != cc.nw.Epoch() {
+		msg.Release(m)
 		return // a recovery landed while the request sat in the controller
 	}
 	var data uint64
@@ -700,6 +730,7 @@ func (cc *CacheController) serveFwdGETX(m *msg.Message) {
 		if cc.OnFault != nil {
 			cc.OnFault(fmt.Sprintf("node %d: illegal FwdGETX for %#x (not owner)", cc.node, m.Addr))
 		}
+		msg.Release(m)
 		return
 	}
 	if cc.sn && cc.shouldLog(oldCN, cc.ccn) {
@@ -707,7 +738,7 @@ func (cc *CacheController) serveFwdGETX(m *msg.Message) {
 			// Hold the response until validation frees space; the
 			// requestor's transaction simply takes longer. Recovery via
 			// the requestor's timeout is the backstop if validation
-			// cannot advance (paper §3.3).
+			// cannot advance (paper §3.3). m stays alive for the retry.
 			cc.stats.CLBStallCycles += clbRetryCycles
 			cc.eng.After(clbRetryCycles, func() { cc.serveFwdGETX(m) })
 			return
@@ -730,18 +761,22 @@ func (cc *CacheController) serveFwdGETX(m *msg.Message) {
 	if cc.sn {
 		cn = core.UpdatedCN(cc.ccn)
 	}
-	cc.nw.Send(&msg.Message{
+	resp := msg.Alloc()
+	*resp = msg.Message{
 		Type: msg.DataEx, Src: cc.node, Dst: m.Requestor, Addr: m.Addr,
 		Data: data, CN: cn, AckCount: m.AckCount, Txn: m.Txn,
-	})
+	}
+	cc.nw.Send(resp)
+	msg.Release(m)
 }
 
 func (cc *CacheController) onNack(m *msg.Message) {
 	cc.stats.NacksReceived++
+	addr := m.Addr // the closures below must not outlive m
 	if mm := cc.mshrs[m.Addr]; mm != nil && mm.txn == m.Txn {
 		cc.stats.Retries++
 		cc.eng.After(cc.retryBackoff(), func() {
-			if cc.mshrs[m.Addr] == mm { // still pending (not recovered away)
+			if cc.mshrs[addr] == mm { // still pending (not recovered away)
 				cc.sendRequest(mm)
 			}
 		})
@@ -756,7 +791,7 @@ func (cc *CacheController) onNack(m *msg.Message) {
 		}
 		cc.stats.Retries++
 		cc.eng.After(cc.retryBackoff(), func() {
-			if cc.wbs[m.Addr] == wb {
+			if cc.wbs[addr] == wb {
 				cc.sendPUTX(wb)
 			}
 		})
@@ -772,9 +807,7 @@ func (cc *CacheController) onWBResponse(m *msg.Message) {
 }
 
 func (cc *CacheController) resolveWB(wb *wbEntry) {
-	if wb.cancelTimeout != nil {
-		wb.cancelTimeout()
-	}
+	wb.cancelTimeout.Cancel()
 	delete(cc.wbs, wb.addr)
 	cc.outstanding[wb.startCCN]--
 	if cc.outstanding[wb.startCCN] == 0 {
@@ -865,13 +898,13 @@ func (cc *CacheController) startWriteback(v *cache.Line) {
 
 func (cc *CacheController) sendPUTX(wb *wbEntry) {
 	cc.stats.RequestsIssued++
-	cc.nw.Send(&msg.Message{
+	req := msg.Alloc()
+	*req = msg.Message{
 		Type: msg.PUTX, Src: cc.node, Dst: cc.home(wb.addr), Addr: wb.addr,
 		Data: wb.data, CN: wb.cn, Txn: wb.txn,
-	})
-	if wb.cancelTimeout != nil {
-		wb.cancelTimeout()
 	}
+	cc.nw.Send(req)
+	wb.cancelTimeout.Cancel()
 	wb.cancelTimeout = cc.eng.ScheduleCancelable(cc.eng.Now()+sim.Time(cc.p.RequestTimeoutCycles), func() {
 		cc.stats.Timeouts++
 		if cc.OnFault != nil {
@@ -893,14 +926,10 @@ func (cc *CacheController) sendPUTX(wb *wbEntry) {
 // returns the number of log entries unrolled (recovery-cost accounting).
 func (cc *CacheController) Recover(rpcn msg.CN, flushToMem func(addr, data uint64)) int {
 	for _, m := range cc.mshrs {
-		if m.cancelTimeout != nil {
-			m.cancelTimeout()
-		}
+		m.cancelTimeout.Cancel()
 	}
 	for _, wb := range cc.wbs {
-		if wb.cancelTimeout != nil {
-			wb.cancelTimeout()
-		}
+		wb.cancelTimeout.Cancel()
 	}
 	cc.mshrs = make(map[uint64]*mshr)
 	cc.wbs = make(map[uint64]*wbEntry)

@@ -63,6 +63,10 @@ type DirController struct {
 	busyUntil  sim.Time
 	jitter     *sim.Rand
 
+	// dispatchFn is bound once so Handle's deferred dispatch does not
+	// allocate a closure per message.
+	dispatchFn func(any)
+
 	stats DirStats
 
 	// OnReadyChange fires when ReadyCkpt may have increased.
@@ -84,6 +88,7 @@ func NewDirController(node int, eng *sim.Engine, nw *network.Network, p config.P
 	if dc.sn {
 		dc.clb = core.NewCLB(p.CLBBytes/2, p.CLBEntryBytes)
 	}
+	dc.dispatchFn = dc.dispatch
 	return dc
 }
 
@@ -177,6 +182,16 @@ func (dc *DirController) entry(addr uint64) *dirEntry {
 // after lat cycles of occupancy, queued behind earlier work, with optional
 // pseudo-random perturbation (the Alameldeen et al. methodology).
 func (dc *DirController) occupy(lat sim.Time, fn func()) {
+	dc.eng.Schedule(dc.occupyStart(lat), fn)
+}
+
+// occupyArg is occupy for a pre-bound func(any), avoiding the per-call
+// closure on the request-dispatch hot path.
+func (dc *DirController) occupyArg(lat sim.Time, fn func(any), arg any) {
+	dc.eng.ScheduleArg(dc.occupyStart(lat), fn, arg)
+}
+
+func (dc *DirController) occupyStart(lat sim.Time) sim.Time {
 	if dc.p.LatencyPerturbation > 0 {
 		lat += sim.Time(dc.jitter.Uint64n(dc.p.LatencyPerturbation + 1))
 	}
@@ -185,10 +200,13 @@ func (dc *DirController) occupy(lat sim.Time, fn func()) {
 		start = dc.busyUntil
 	}
 	dc.busyUntil = start + lat
-	dc.eng.Schedule(start+lat, fn)
+	return start + lat
 }
 
-// Handle processes a message delivered to this node's directory.
+// Handle processes a message delivered to this node's directory. It owns
+// m: the message stays alive across the controller-occupancy delay and is
+// released once its handler completes (onAckDone keeps it longer across
+// CLB-stall retries).
 func (dc *DirController) Handle(m *msg.Message) {
 	switch m.Type {
 	case msg.GETS, msg.GETX, msg.PUTX, msg.AckDone:
@@ -200,29 +218,39 @@ func (dc *DirController) Handle(m *msg.Message) {
 		// writeback data must not be absorbed. The evictor's timeout (it
 		// never gets a WBAck) or the validation watchdog converts the
 		// loss into a recovery.
+		msg.Release(m)
 		return
 	}
 	dc.stats.Requests++
-	dc.occupy(sim.Time(dc.p.DirAccessCycles), func() {
-		if m.Epoch != dc.nw.Epoch() {
-			return // request predates a recovery
-		}
-		switch m.Type {
-		case msg.GETS:
-			dc.onGETS(m)
-		case msg.GETX:
-			dc.onGETX(m)
-		case msg.PUTX:
-			dc.onPUTX(m)
-		case msg.AckDone:
-			dc.onAckDone(m)
-		}
-	})
+	dc.occupyArg(sim.Time(dc.p.DirAccessCycles), dc.dispatchFn, m)
+}
+
+// dispatch runs once the controller-occupancy delay elapsed.
+func (dc *DirController) dispatch(a any) {
+	m := a.(*msg.Message)
+	if m.Epoch != dc.nw.Epoch() {
+		msg.Release(m)
+		return // request predates a recovery
+	}
+	switch m.Type {
+	case msg.GETS:
+		dc.onGETS(m)
+	case msg.GETX:
+		dc.onGETX(m)
+	case msg.PUTX:
+		dc.onPUTX(m)
+	case msg.AckDone:
+		dc.onAckDone(m) // releases m on its terminal paths
+		return
+	}
+	msg.Release(m)
 }
 
 func (dc *DirController) nack(m *msg.Message) {
 	dc.stats.Nacks++
-	dc.nw.Send(&msg.Message{Type: msg.NackReq, Src: dc.node, Dst: m.Src, Addr: m.Addr, Txn: m.Txn})
+	n := msg.Alloc()
+	*n = msg.Message{Type: msg.NackReq, Src: dc.node, Dst: m.Src, Addr: m.Addr, Txn: m.Txn}
+	dc.nw.Send(n)
 }
 
 func (dc *DirController) onGETS(m *msg.Message) {
@@ -253,10 +281,12 @@ func (dc *DirController) onGETS(m *msg.Message) {
 			}
 			e.busy = false
 			e.pend = pending{}
-			dc.nw.Send(&msg.Message{
+			resp := msg.Alloc()
+			*resp = msg.Message{
 				Type: msg.Data, Src: dc.node, Dst: src, Addr: addr,
 				Data: dc.MemData(addr), CN: cn, Txn: txn,
-			})
+			}
+			dc.nw.Send(resp)
 		})
 		return
 	}
@@ -266,10 +296,12 @@ func (dc *DirController) onGETS(m *msg.Message) {
 	e.pend = pending{typ: msg.GETS, requestor: m.Src, txn: m.Txn, startCCN: dc.ccn}
 	dc.busyStarts[dc.ccn]++
 	dc.stats.Forwards++
-	dc.nw.Send(&msg.Message{
+	resp := msg.Alloc()
+	*resp = msg.Message{
 		Type: msg.FwdGETS, Src: dc.node, Dst: e.owner, Addr: m.Addr,
 		Requestor: m.Src, Txn: m.Txn,
-	})
+	}
+	dc.nw.Send(resp)
 }
 
 func (dc *DirController) onGETX(m *msg.Message) {
@@ -292,10 +324,12 @@ func (dc *DirController) onGETX(m *msg.Message) {
 	dc.busyStarts[dc.ccn]++
 	for s := 0; s < dc.p.NumNodes; s++ {
 		if others&sharerBit(s) != 0 {
-			dc.nw.Send(&msg.Message{
+			resp := msg.Alloc()
+			*resp = msg.Message{
 				Type: msg.Inv, Src: dc.node, Dst: s, Addr: m.Addr,
 				Requestor: req, Txn: m.Txn,
-			})
+			}
+			dc.nw.Send(resp)
 		}
 	}
 	cn := msg.Null
@@ -307,10 +341,12 @@ func (dc *DirController) onGETX(m *msg.Message) {
 		// Upgrade: the requestor attests it holds the data; grant
 		// permission only then — the sharer bit alone may be a stale
 		// superset left by a silent eviction or a recovery.
-		dc.nw.Send(&msg.Message{
+		resp := msg.Alloc()
+		*resp = msg.Message{
 			Type: msg.AckCount, Src: dc.node, Dst: req, Addr: m.Addr,
 			CN: cn, AckCount: ackCount, Txn: m.Txn,
-		})
+		}
+		dc.nw.Send(resp)
 	case e.owner == MemOwner:
 		addr, txn := m.Addr, m.Txn
 		ep := dc.nw.Epoch()
@@ -319,23 +355,29 @@ func (dc *DirController) onGETX(m *msg.Message) {
 			if ep != dc.nw.Epoch() {
 				return
 			}
-			dc.nw.Send(&msg.Message{
+			resp := msg.Alloc()
+			*resp = msg.Message{
 				Type: msg.DataEx, Src: dc.node, Dst: req, Addr: addr,
 				Data: dc.MemData(addr), CN: cn, AckCount: ackCount, Txn: txn,
-			})
+			}
+			dc.nw.Send(resp)
 		})
 	case e.owner == req:
 		// The owner upgrades O -> M: it has the data; kill the sharers.
-		dc.nw.Send(&msg.Message{
+		resp := msg.Alloc()
+		*resp = msg.Message{
 			Type: msg.AckCount, Src: dc.node, Dst: req, Addr: m.Addr,
 			CN: cn, AckCount: ackCount, Txn: m.Txn,
-		})
+		}
+		dc.nw.Send(resp)
 	default:
 		dc.stats.Forwards++
-		dc.nw.Send(&msg.Message{
+		resp := msg.Alloc()
+		*resp = msg.Message{
 			Type: msg.FwdGETX, Src: dc.node, Dst: e.owner, Addr: m.Addr,
 			Requestor: req, AckCount: ackCount, Txn: m.Txn,
-		})
+		}
+		dc.nw.Send(resp)
 	}
 }
 
@@ -347,7 +389,9 @@ func (dc *DirController) onPUTX(m *msg.Message) {
 	case e.owner != m.Src:
 		// The writeback lost a race: ownership already moved through a
 		// forwarded request the evictor answered from its buffer.
-		dc.nw.Send(&msg.Message{Type: msg.WBStale, Src: dc.node, Dst: m.Src, Addr: m.Addr, Txn: m.Txn})
+		resp := msg.Alloc()
+		*resp = msg.Message{Type: msg.WBStale, Src: dc.node, Dst: m.Src, Addr: m.Addr, Txn: m.Txn}
+		dc.nw.Send(resp)
 	default:
 		if dc.sn && dc.clb.Full() {
 			dc.nack(m)
@@ -371,7 +415,9 @@ func (dc *DirController) onPUTX(m *msg.Message) {
 			if ep != dc.nw.Epoch() {
 				return
 			}
-			dc.nw.Send(&msg.Message{Type: msg.WBAck, Src: dc.node, Dst: src, Addr: addr, Txn: txn})
+			resp := msg.Alloc()
+			*resp = msg.Message{Type: msg.WBAck, Src: dc.node, Dst: src, Addr: addr, Txn: txn}
+			dc.nw.Send(resp)
 		})
 	}
 }
@@ -382,19 +428,21 @@ func (dc *DirController) onPUTX(m *msg.Message) {
 func (dc *DirController) onAckDone(m *msg.Message) {
 	e := dc.entry(m.Addr)
 	if !e.busy || e.pend.txn != m.Txn {
+		msg.Release(m)
 		return // duplicate or superseded
 	}
 	if e.pend.typ == msg.GETX {
 		if dc.sn {
 			if dc.clb.Full() {
 				// The entry change must be logged; hold the completion
-				// until validation frees space.
+				// (and m) until validation frees space.
 				dc.stats.CLBStallCycles += clbRetryCycles
-				mm := m
 				dc.eng.After(clbRetryCycles, func() {
-					if m.Epoch == dc.nw.Epoch() {
-						dc.onAckDone(mm)
+					if m.Epoch != dc.nw.Epoch() {
+						msg.Release(m)
+						return
 					}
+					dc.onAckDone(m)
 				})
 				return
 			}
@@ -420,6 +468,7 @@ func (dc *DirController) onAckDone(m *msg.Message) {
 		delete(dc.busyStarts, e.pend.startCCN)
 	}
 	e.pend = pending{}
+	msg.Release(m)
 	if dc.OnReadyChange != nil {
 		dc.OnReadyChange()
 	}

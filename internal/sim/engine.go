@@ -9,12 +9,16 @@
 // reproducibility — SafetyNet recovery re-executes work from a restored
 // checkpoint, and the tests compare re-executed state against reference
 // executions.
+//
+// Internally the queue is a calendar (timing-wheel) queue: one bucket per
+// cycle over a wheelSize-cycle window, with a binary min-heap overflow for
+// events beyond the horizon. Events live in value-typed slots recycled
+// through a free list, so steady-state scheduling performs no heap
+// allocation; cancellation uses generation-counted handles instead of a
+// per-call heap-allocated flag.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is the simulation clock in processor cycles (1 cycle = 1 ns at the
 // paper's 1 GHz target frequency).
@@ -23,35 +27,39 @@ type Time uint64
 // Event is a callback scheduled to fire at a specific cycle.
 type Event func()
 
-type scheduledEvent struct {
-	at     Time
-	seq    uint64 // FIFO tie-break for events at the same cycle
-	fn     Event
-	cancel *bool // optional cancellation flag; nil means not cancelable
+// wheelBits sizes the calendar window. The window must comfortably cover
+// the common event horizon (cache latencies, link serialization, directory
+// occupancy — all well under a few thousand cycles); only long timers
+// (transaction timeouts, checkpoint edges, watchdogs) spill into the
+// overflow heap.
+const (
+	wheelBits = 13
+	wheelSize = Time(1) << wheelBits
+	wheelMask = wheelSize - 1
+)
+
+// slot is one pending event. Slots are stored by value in a grow-only
+// arena and recycled through a free list; gen counts reuses so stale
+// Cancelers become harmless no-ops.
+type slot struct {
+	fn       Event
+	afn      func(any)
+	arg      any
+	at       Time
+	seq      uint64
+	next     int32
+	gen      uint32
+	canceled bool
 }
 
-type eventQueue []*scheduledEvent
+// bucket is a FIFO list of slots for one cycle, linked through slot.next.
+type bucket struct{ head, tail int32 }
 
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-
-func (q *eventQueue) Push(x any) { *q = append(*q, x.(*scheduledEvent)) }
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
+// ovEntry is an overflow-heap element ordered by (at, seq).
+type ovEntry struct {
+	at  Time
+	seq uint64
+	idx int32
 }
 
 // Engine is a discrete-event simulator. The zero value is not usable; use
@@ -59,17 +67,35 @@ func (q *eventQueue) Pop() any {
 type Engine struct {
 	now     Time
 	seq     uint64
-	queue   eventQueue
 	stopped bool
 	// Executed counts events dispatched since construction; useful for
 	// detecting livelock in stress tests.
 	executed uint64
+
+	// base is the wheel window start: every pending event with
+	// at < base+wheelSize sits in buckets, everything later in overflow.
+	// All buckets before base are empty, and user code only ever runs
+	// with now == base (during dispatch) or now >= base (between runs),
+	// so two pending wheel events can never collide modulo wheelSize.
+	base       Time
+	buckets    []bucket
+	wheelCount int
+	overflow   []ovEntry
+	pending    int
+
+	slots []slot
+	free  int32 // free-list head, -1 when empty
 }
 
 // NewEngine returns an engine with an empty event queue at cycle 0.
 func NewEngine() *Engine {
-	e := &Engine{}
-	heap.Init(&e.queue)
+	e := &Engine{
+		buckets: make([]bucket, wheelSize),
+		free:    -1,
+	}
+	for i := range e.buckets {
+		e.buckets[i] = bucket{head: -1, tail: -1}
+	}
 	return e
 }
 
@@ -80,39 +106,115 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Executed() uint64 { return e.executed }
 
 // Pending returns the number of events waiting in the queue.
-func (e *Engine) Pending() int { return e.queue.Len() }
+func (e *Engine) Pending() int { return e.pending }
+
+func (e *Engine) allocSlot() int32 {
+	if e.free >= 0 {
+		i := e.free
+		e.free = e.slots[i].next
+		return i
+	}
+	e.slots = append(e.slots, slot{})
+	return int32(len(e.slots) - 1)
+}
+
+func (e *Engine) freeSlot(i int32) {
+	s := &e.slots[i]
+	s.gen++
+	s.fn, s.afn, s.arg = nil, nil, nil
+	s.canceled = false
+	s.next = e.free
+	e.free = i
+}
+
+// enqueue places an already-filled slot into the wheel or the overflow.
+func (e *Engine) enqueue(i int32) {
+	s := &e.slots[i]
+	if s.at < e.base+wheelSize {
+		b := &e.buckets[s.at&wheelMask]
+		if b.tail >= 0 {
+			e.slots[b.tail].next = i
+		} else {
+			b.head = i
+		}
+		b.tail = i
+		e.wheelCount++
+	} else {
+		e.ovPush(ovEntry{at: s.at, seq: s.seq, idx: i})
+	}
+	e.pending++
+}
+
+func (e *Engine) schedule(at Time, fn Event, afn func(any), arg any) int32 {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", at, e.now))
+	}
+	e.seq++
+	i := e.allocSlot()
+	s := &e.slots[i]
+	s.fn, s.afn, s.arg = fn, afn, arg
+	s.at, s.seq = at, e.seq
+	s.next = -1
+	s.canceled = false
+	e.enqueue(i)
+	return i
+}
 
 // Schedule registers fn to run at absolute cycle at. Scheduling in the past
 // panics: it always indicates a model bug, and silently reordering time
 // would corrupt the checkpoint-coordination logic.
 func (e *Engine) Schedule(at Time, fn Event) {
-	if at < e.now {
-		panic(fmt.Sprintf("sim: schedule at %d before now %d", at, e.now))
-	}
-	e.seq++
-	heap.Push(&e.queue, &scheduledEvent{at: at, seq: e.seq, fn: fn})
+	e.schedule(at, fn, nil, nil)
 }
 
 // After schedules fn to run delay cycles from now.
 func (e *Engine) After(delay Time, fn Event) {
-	e.Schedule(e.now+delay, fn)
+	e.schedule(e.now+delay, fn, nil, nil)
 }
 
-// Canceler cancels a previously scheduled event. Calling it after the event
-// has fired is a harmless no-op.
-type Canceler func()
+// ScheduleArg registers fn to run at absolute cycle at with arg. Passing
+// a long-lived func value plus a pointer-typed arg avoids the closure
+// allocation Schedule would need; the network's per-hop traversal uses it.
+func (e *Engine) ScheduleArg(at Time, fn func(any), arg any) {
+	e.schedule(at, nil, fn, arg)
+}
 
-// ScheduleCancelable is like Schedule but returns a Canceler. It is used for
-// timeout events that are usually canceled (transaction timeouts fire only
-// when a fault ate the response).
-func (e *Engine) ScheduleCancelable(at Time, fn Event) Canceler {
-	if at < e.now {
-		panic(fmt.Sprintf("sim: schedule at %d before now %d", at, e.now))
+// AfterArg schedules fn(arg) to run delay cycles from now.
+func (e *Engine) AfterArg(delay Time, fn func(any), arg any) {
+	e.schedule(e.now+delay, nil, fn, arg)
+}
+
+// Canceler cancels a previously scheduled event. The zero value is valid
+// and cancels nothing; calling Cancel after the event has fired (or twice)
+// is a harmless no-op — the generation count makes stale handles inert.
+type Canceler struct {
+	e   *Engine
+	idx int32
+	gen uint32
+}
+
+// Cancel marks the event so it is skipped at dispatch. Safe on the zero
+// value and after the event fired.
+func (c Canceler) Cancel() {
+	if c.e == nil {
+		return
 	}
-	canceled := false
-	e.seq++
-	heap.Push(&e.queue, &scheduledEvent{at: at, seq: e.seq, fn: fn, cancel: &canceled})
-	return func() { canceled = true }
+	s := &c.e.slots[c.idx]
+	if s.gen != c.gen {
+		return // already fired, drained, or slot reused
+	}
+	s.canceled = true
+	// Drop callback references early; the slot itself is recycled when
+	// its bucket (or the overflow) reaches it.
+	s.fn, s.afn, s.arg = nil, nil, nil
+}
+
+// ScheduleCancelable is like Schedule but returns a Canceler. It is used
+// for timeout events that are usually canceled (transaction timeouts fire
+// only when a fault ate the response).
+func (e *Engine) ScheduleCancelable(at Time, fn Event) Canceler {
+	i := e.schedule(at, fn, nil, nil)
+	return Canceler{e: e, idx: i, gen: e.slots[i].gen}
 }
 
 // Stop makes Run return after the currently dispatching event completes.
@@ -121,30 +223,147 @@ func (e *Engine) Stop() { e.stopped = true }
 // Stopped reports whether Stop has been called.
 func (e *Engine) Stopped() bool { return e.stopped }
 
+// ovPush inserts an entry into the overflow min-heap.
+func (e *Engine) ovPush(v ovEntry) {
+	e.overflow = append(e.overflow, v)
+	i := len(e.overflow) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !ovLess(e.overflow[i], e.overflow[p]) {
+			break
+		}
+		e.overflow[i], e.overflow[p] = e.overflow[p], e.overflow[i]
+		i = p
+	}
+}
+
+// ovPop removes and returns the minimum overflow entry.
+func (e *Engine) ovPop() ovEntry {
+	h := e.overflow
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	e.overflow = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && ovLess(h[l], h[m]) {
+			m = l
+		}
+		if r < n && ovLess(h[r], h[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	return top
+}
+
+func ovLess(a, b ovEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// migrate moves every overflow event inside the current wheel window into
+// its bucket. Entries pop in (at, seq) order, so FIFO-within-cycle order
+// is preserved relative both to each other and to events scheduled
+// directly into the window afterwards (their seq is necessarily higher).
+func (e *Engine) migrate() {
+	horizon := e.base + wheelSize
+	for len(e.overflow) > 0 && e.overflow[0].at < horizon {
+		v := e.ovPop()
+		b := &e.buckets[v.at&wheelMask]
+		if b.tail >= 0 {
+			e.slots[b.tail].next = v.idx
+		} else {
+			b.head = v.idx
+		}
+		e.slots[v.idx].next = -1
+		b.tail = v.idx
+		e.wheelCount++
+	}
+}
+
 // Run dispatches events in time order until the queue empties, Stop is
 // called, or the clock would pass until. Events scheduled exactly at until
 // still run. It returns the time of the last dispatched event (or the
 // starting time if nothing ran).
 func (e *Engine) Run(until Time) Time {
 	e.stopped = false
-	for e.queue.Len() > 0 && !e.stopped {
-		next := e.queue[0]
-		if next.at > until {
+	for e.pending > 0 && !e.stopped {
+		if e.wheelCount == 0 {
+			// Nothing inside the window: jump straight to the earliest
+			// overflow event and re-base the wheel there.
+			if e.overflow[0].at > until {
+				break
+			}
+			e.base = e.overflow[0].at
+			e.migrate()
+		}
+		if e.base > until {
 			break
 		}
-		heap.Pop(&e.queue)
-		if next.cancel != nil && *next.cancel {
-			continue
+		b := &e.buckets[e.base&wheelMask]
+		for b.head >= 0 && !e.stopped {
+			i := b.head
+			s := &e.slots[i]
+			b.head = s.next
+			if b.head < 0 {
+				b.tail = -1
+			}
+			e.wheelCount--
+			e.pending--
+			at, fn, afn, arg, canceled := s.at, s.fn, s.afn, s.arg, s.canceled
+			e.freeSlot(i)
+			if canceled {
+				continue
+			}
+			e.now = at
+			e.executed++
+			if fn != nil {
+				fn()
+			} else {
+				afn(arg)
+			}
 		}
-		e.now = next.at
-		e.executed++
-		next.fn()
+		if e.stopped {
+			break
+		}
+		if e.base >= until {
+			// The until-cycle bucket is exhausted. Stop without advancing
+			// base past until: user code between runs must always observe
+			// base <= now, or events scheduled at exactly Now() would land
+			// in a bucket the window already passed.
+			break
+		}
+		if e.pending > 0 {
+			// This cycle is exhausted; slide the window forward one cycle
+			// and pull in any overflow event that just entered it.
+			e.base++
+			if len(e.overflow) > 0 && e.overflow[0].at < e.base+wheelSize {
+				e.migrate()
+			}
+		}
 	}
 	if e.now < until && !e.stopped {
 		// No event remains at or before until (the queue is empty or its
 		// head lies beyond); advance the clock so callers observe that
 		// the interval elapsed.
 		e.now = until
+	}
+	if e.wheelCount == 0 && e.base < e.now {
+		// Keep the window anchored at the clock so freshly scheduled
+		// near-term events land in buckets rather than the overflow —
+		// and pull in overflow events the raised horizon now covers, so
+		// later same-cycle schedules keep their FIFO position behind them.
+		e.base = e.now
+		e.migrate()
 	}
 	return e.now
 }
@@ -154,6 +373,22 @@ func (e *Engine) Run(until Time) Time {
 // callers must immediately reschedule the periodic machinery (checkpoint
 // clock, processor restart) afterwards.
 func (e *Engine) Drain() {
-	e.queue = e.queue[:0]
-	heap.Init(&e.queue)
+	if e.wheelCount > 0 {
+		for bi := range e.buckets {
+			b := &e.buckets[bi]
+			for b.head >= 0 {
+				i := b.head
+				b.head = e.slots[i].next
+				e.freeSlot(i)
+			}
+			b.tail = -1
+		}
+		e.wheelCount = 0
+	}
+	for _, v := range e.overflow {
+		e.freeSlot(v.idx)
+	}
+	e.overflow = e.overflow[:0]
+	e.pending = 0
+	e.base = e.now
 }

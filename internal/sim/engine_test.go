@@ -106,13 +106,13 @@ func TestEngineCancelable(t *testing.T) {
 	e := NewEngine()
 	fired := false
 	cancel := e.ScheduleCancelable(10, func() { fired = true })
-	cancel()
+	cancel.Cancel()
 	e.Run(20)
 	if fired {
 		t.Fatal("canceled event must not fire")
 	}
 	// Canceling twice, or after the window, is harmless.
-	cancel()
+	cancel.Cancel()
 
 	fired2 := false
 	c2 := e.ScheduleCancelable(30, func() { fired2 = true })
@@ -120,7 +120,31 @@ func TestEngineCancelable(t *testing.T) {
 	if !fired2 {
 		t.Fatal("non-canceled event must fire")
 	}
-	c2() // after firing: no-op
+	c2.Cancel() // after firing: no-op
+}
+
+// A Canceler must stay inert after its event fired, even when the slot
+// has been recycled for a newer event (the generation count protects the
+// new occupant).
+func TestEngineCancelAfterFireDoesNotKillReusedSlot(t *testing.T) {
+	e := NewEngine()
+	c1 := e.ScheduleCancelable(5, func() {})
+	e.Run(10)
+	fired := false
+	// The freed slot is recycled for this event.
+	e.ScheduleCancelable(20, func() { fired = true })
+	c1.Cancel() // stale handle: generation mismatch, must be a no-op
+	e.Run(30)
+	if !fired {
+		t.Fatal("stale Cancel killed an unrelated rescheduled event")
+	}
+}
+
+// The zero-value Canceler cancels nothing and never panics.
+func TestEngineZeroCanceler(t *testing.T) {
+	var c Canceler
+	c.Cancel()
+	c.Cancel()
 }
 
 func TestEngineDrain(t *testing.T) {
@@ -142,6 +166,108 @@ func TestEngineDrain(t *testing.T) {
 	e.Run(20)
 	if !ok {
 		t.Fatal("engine must accept events after drain")
+	}
+}
+
+// Same-cycle FIFO order must hold even when the tied events entered the
+// queue through different paths: one beyond the calendar window (overflow
+// heap, migrated into its bucket as the window slides) and one scheduled
+// directly into the window later.
+func TestEngineFIFOTiesAcrossBucketBoundary(t *testing.T) {
+	e := NewEngine()
+	far := Time(3 * wheelSize) // well beyond the initial window
+	var order []int
+	e.Schedule(far, func() { order = append(order, 1) }) // via overflow
+	e.Schedule(far-1, func() {
+		// By now the window covers far: this lands in the bucket the
+		// overflow event migrated into, and must fire after it.
+		e.Schedule(far, func() { order = append(order, 2) })
+	})
+	e.Run(far + 1)
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("overflow-migrated event must keep FIFO priority, got %v", order)
+	}
+}
+
+// Two pending events whose cycles are congruent modulo the wheel size must
+// not share a bucket list: the later one sits in the overflow until the
+// window reaches it.
+func TestEngineCongruentCyclesStaySorted(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(5+wheelSize, func() { order = append(order, 2) })
+	e.Schedule(5, func() { order = append(order, 1) })
+	e.Run(5 + 2*wheelSize)
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("congruent cycles dispatched out of order: %v", order)
+	}
+}
+
+// Drain must also discard overflow events, and the engine must accept and
+// dispatch new near- and far-horizon work afterwards.
+func TestEngineDrainDiscardsOverflowThenReschedules(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.Schedule(3, func() { fired = true })
+	e.Schedule(10*wheelSize, func() { fired = true })
+	c := e.ScheduleCancelable(7, func() { fired = true })
+	e.Drain()
+	if e.Pending() != 0 {
+		t.Fatalf("pending after drain = %d, want 0", e.Pending())
+	}
+	c.Cancel() // stale handle into a drained slot: must be a no-op
+	var order []int
+	e.Schedule(2*wheelSize, func() { order = append(order, 2) })
+	e.Schedule(50, func() { order = append(order, 1) })
+	e.Run(3 * wheelSize)
+	if fired {
+		t.Fatal("drained events must not fire")
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("post-drain dispatch order wrong: %v", order)
+	}
+}
+
+// Scheduling at exactly Now() between runs must dispatch promptly and in
+// time order, even when the previous Run dispatched an event exactly at
+// its until boundary with later events still pending (the window must not
+// slide past the clock).
+func TestEngineScheduleAtNowAfterBoundaryRun(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	var times []Time
+	e.Schedule(100, func() { order = append(order, 1); times = append(times, e.Now()) })
+	e.Schedule(150, func() { order = append(order, 3); times = append(times, e.Now()) })
+	e.Run(100) // fires the cycle-100 event; the cycle-150 event stays pending
+	e.Schedule(e.Now(), func() { order = append(order, 2); times = append(times, e.Now()) })
+	e.Run(1000)
+	want := []int{1, 2, 3}
+	wantT := []Time{100, 100, 150}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] || times[i] != wantT[i] {
+			t.Fatalf("dispatch (order, time) = (%v, %v), want (%v, %v)", order, times, want, wantT)
+		}
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] < times[i-1] {
+			t.Fatalf("clock ran backwards: %v", times)
+		}
+	}
+}
+
+// When an idle Run re-anchors the window at the clock, overflow events the
+// raised horizon now covers must keep FIFO priority over same-cycle events
+// scheduled directly afterwards.
+func TestEngineFIFOAfterIdleRunReanchor(t *testing.T) {
+	e := NewEngine()
+	far := wheelSize + 8
+	var order []int
+	e.Schedule(far, func() { order = append(order, 1) }) // overflow at schedule time
+	e.Run(100)                                           // idle: re-anchors the window at 100, far is now inside it
+	e.Schedule(far, func() { order = append(order, 2) }) // same cycle, later seq
+	e.Run(2 * wheelSize)
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("re-anchor broke FIFO within cycle %d: %v", far, order)
 	}
 }
 

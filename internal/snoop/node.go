@@ -322,9 +322,7 @@ func (n *Node) acquire(t *txn, data uint64, cn msg.CN) {
 		// The load is ordered at our slot and returns this data, but a
 		// later-slot GETX already invalidated the copy: complete without
 		// installing.
-		if t.cancel != nil {
-			t.cancel()
-		}
+		t.cancel.Cancel()
 		delete(n.txns, t.addr)
 		n.sys.txnDone(n)
 		if t.done != nil {
@@ -351,9 +349,7 @@ func (n *Node) acquire(t *txn, data uint64, cn msg.CN) {
 		l.CN = core.UpdatedCN(n.ccn)
 		l.Data = t.storeVal
 	}
-	if t.cancel != nil {
-		t.cancel()
-	}
+	t.cancel.Cancel()
 	delete(n.txns, t.addr)
 	n.sys.txnDone(n)
 	done := t.done
@@ -421,9 +417,7 @@ func (n *Node) ready() msg.CN {
 // recoverTo rolls the node back to checkpoint rpcn.
 func (n *Node) recoverTo(rpcn msg.CN) {
 	for _, t := range n.txns {
-		if t.cancel != nil {
-			t.cancel()
-		}
+		t.cancel.Cancel()
 	}
 	n.txns = make(map[uint64]*txn)
 	n.wbs = make(map[uint64]*wbBuf)

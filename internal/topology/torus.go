@@ -27,6 +27,18 @@ const (
 type Torus struct {
 	w, h int
 	dead map[SwitchID]bool
+	// routes caches the preferred route per (src, dst) pair, filled
+	// lazily and invalidated whenever the set of dead half-switches
+	// changes. Cached slices are shared with callers and must be treated
+	// as read-only.
+	routes []routeSlot
+}
+
+// routeSlot is one route-cache entry; known distinguishes a cached
+// unroutable pair (r == nil) from a pair not yet computed.
+type routeSlot struct {
+	r     []SwitchID
+	known bool
 }
 
 // New returns a torus of the given dimensions. Dimensions below 2 panic;
@@ -36,7 +48,8 @@ func New(w, h int) *Torus {
 	if w < 2 || h < 2 {
 		panic(fmt.Sprintf("topology: torus dimensions must be >= 2, got %dx%d", w, h))
 	}
-	return &Torus{w: w, h: h, dead: make(map[SwitchID]bool)}
+	n := w * h
+	return &Torus{w: w, h: h, dead: make(map[SwitchID]bool), routes: make([]routeSlot, n*n)}
 }
 
 // Nodes returns the node count.
@@ -75,10 +88,24 @@ func (t *Torus) AxisOf(s SwitchID) Axis {
 
 // Kill marks half-switch s permanently dead. Routes computed afterwards
 // avoid it.
-func (t *Torus) Kill(s SwitchID) { t.dead[s] = true }
+func (t *Torus) Kill(s SwitchID) {
+	t.dead[s] = true
+	t.invalidateRoutes()
+}
 
 // Revive clears the dead mark (used by tests).
-func (t *Torus) Revive(s SwitchID) { delete(t.dead, s) }
+func (t *Torus) Revive(s SwitchID) {
+	delete(t.dead, s)
+	t.invalidateRoutes()
+}
+
+// invalidateRoutes discards every cached route; the next Route call per
+// pair recomputes against the current dead set.
+func (t *Torus) invalidateRoutes() {
+	for i := range t.routes {
+		t.routes[i] = routeSlot{}
+	}
+}
 
 // Alive reports whether half-switch s is operational.
 func (t *Torus) Alive(s SwitchID) bool { return !t.dead[s] }
@@ -93,7 +120,20 @@ func (t *Torus) DeadCount() int { return len(t.dead) }
 // It returns nil when no route exists (cannot happen with a single dead
 // half-switch on a torus of width and height >= 2). src == dst returns an
 // empty route.
+//
+// Routes are cached per (src, dst) pair until the next Kill/Revive; the
+// returned slice is shared and must not be modified.
 func (t *Torus) Route(src, dst int) []SwitchID {
+	slot := &t.routes[src*t.w*t.h+dst]
+	if slot.known {
+		return slot.r
+	}
+	r := t.computeRoute(src, dst)
+	slot.r, slot.known = r, true
+	return r
+}
+
+func (t *Torus) computeRoute(src, dst int) []SwitchID {
 	if src == dst {
 		return []SwitchID{}
 	}

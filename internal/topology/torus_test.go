@@ -183,6 +183,74 @@ func TestReviveRestoresRoutes(t *testing.T) {
 	}
 }
 
+// The route cache must serve repeated queries from the same entry, drop
+// every entry on Kill (so routes immediately avoid the dead half-switch),
+// and recompute the original preferred route after Revive.
+func TestRouteCacheInvalidation(t *testing.T) {
+	tor := New(4, 4)
+	r1 := tor.Route(0, 3)
+	r2 := tor.Route(0, 3)
+	if len(r1) == 0 || &r1[0] != &r2[0] {
+		t.Fatal("repeated Route calls must return the cached slice")
+	}
+
+	victim := r1[0]
+	tor.Kill(victim)
+	killed := tor.Route(0, 3)
+	for _, s := range killed {
+		if s == victim {
+			t.Fatalf("route %v still traverses killed half-switch %d", killed, victim)
+		}
+	}
+	routeIsValid(t, tor, 0, 3, killed)
+
+	tor.Revive(victim)
+	restored := tor.Route(0, 3)
+	if len(restored) != len(r1) {
+		t.Fatalf("revive did not restore the preferred route: %v vs %v", restored, r1)
+	}
+	for i := range restored {
+		if restored[i] != r1[i] {
+			t.Fatalf("revive did not restore the preferred route: %v vs %v", restored, r1)
+		}
+	}
+}
+
+// Killing one half-switch must invalidate cached routes for every pair,
+// not just pairs that traversed it (the detour logic may reroute around
+// congestion differently), and unroutable pairs must be re-evaluated after
+// a Revive.
+func TestRouteCacheKillAffectsAllPairs(t *testing.T) {
+	tor := New(2, 2)
+	// Warm the whole cache.
+	for s := 0; s < tor.Nodes(); s++ {
+		for d := 0; d < tor.Nodes(); d++ {
+			tor.Route(s, d)
+		}
+	}
+	// Kill both half-switches of node 1's row/column neighbors so some
+	// pair becomes unroutable on the 2x2 torus.
+	for n := 0; n < tor.Nodes(); n++ {
+		if n != 0 {
+			tor.Kill(tor.EWSwitch(n))
+			tor.Kill(tor.NSSwitch(n))
+		}
+	}
+	if r := tor.Route(0, 3); r != nil {
+		t.Fatalf("expected unroutable pair with all remote half-switches dead, got %v", r)
+	}
+	// Cached nil must also be invalidated by Revive.
+	for n := 0; n < tor.Nodes(); n++ {
+		if n != 0 {
+			tor.Revive(tor.EWSwitch(n))
+			tor.Revive(tor.NSSwitch(n))
+		}
+	}
+	if r := tor.Route(0, 3); r == nil {
+		t.Fatal("revive must restore routability")
+	}
+}
+
 func TestTinyTorusPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
