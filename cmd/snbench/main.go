@@ -73,7 +73,7 @@ func run() int {
 	catalog := safetynet.Experiments()
 	if *list {
 		for _, e := range catalog {
-			fmt.Printf("%-10s %s\n", e.Name, e.Description)
+			fmt.Printf("%-12s %s\n", e.Name, e.Description)
 		}
 		return 0
 	}

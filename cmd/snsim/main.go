@@ -7,6 +7,7 @@
 //	snsim -workload apache -unprotected -drop-at 1000000   # crashes
 //	snsim -workload apache -drop-at 1000000                # recovers
 //	snsim -workload jbb -kill-node 5 -kill-at 1000000      # hard fault
+//	snsim -protocol snoop -workload jbb -drop-at 1000000   # snooping backend
 package main
 
 import (
@@ -20,7 +21,8 @@ import (
 func main() {
 	var (
 		workloadName = flag.String("workload", "oltp", "workload preset (oltp, jbb, apache, slashcode, barnes, stress)")
-		unprotected  = flag.Bool("unprotected", false, "disable SafetyNet (baseline system)")
+		protocol     = flag.String("protocol", safetynet.ProtocolDirectory, "coherence backend (directory, snoop)")
+		unprotected  = flag.Bool("unprotected", false, "disable SafetyNet (baseline system; directory only)")
 		cycles       = flag.Uint64("cycles", 4_000_000, "cycles to simulate (1 cycle = 1 ns)")
 		seed         = flag.Uint64("seed", 1, "simulation seed")
 		interval     = flag.Uint64("interval", 100_000, "checkpoint interval in cycles")
@@ -33,6 +35,7 @@ func main() {
 	flag.Parse()
 
 	cfg := safetynet.DefaultConfig()
+	cfg.Protocol = *protocol
 	cfg.SafetyNetEnabled = !*unprotected
 	cfg.Seed = *seed
 	cfg.CheckpointIntervalCycles = *interval

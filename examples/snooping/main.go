@@ -6,42 +6,67 @@
 // skew bound is needed, and all components agree on every transaction's
 // checkpoint interval by construction.
 //
-// This example runs the snooping system fault-free, shows that every
+// Since the snooping system is a first-class backend of the facade, the
+// same fault plans and run lifecycle work on it: this example selects the
+// backend through the configuration, runs fault-free, shows that every
 // node's logical clock is identical, then injects the transient fault
-// (a dropped data response) and shows recovery.
+// (a dropped data response) through a composable fault plan and shows
+// recovery. It also shows arm-time validation rejecting an event the bus
+// cannot express.
 package main
 
 import (
+	"errors"
 	"fmt"
+	"os"
 
-	"safetynet/internal/snoop"
-	"safetynet/internal/workload"
+	"safetynet"
 )
 
 func main() {
-	cfg := snoop.DefaultConfig()
+	cfg := safetynet.SnoopConfig()
 	cfg.Seed = 1
-	sys := snoop.New(cfg, workload.Stress())
-	sys.Start()
-	sys.Run(300_000)
-
-	fmt.Printf("snooping SafetyNet: %d nodes, checkpoint every %d bus slots\n",
-		cfg.Nodes, cfg.CheckpointInterval)
-	fmt.Printf("after 300k cycles: %d instructions, recovery point = checkpoint %d\n",
-		sys.TotalInstrs(), sys.RPCN())
-
-	fmt.Println("\nlogical time is the shared snoop order — every node agrees exactly:")
-	for _, n := range sys.Nodes() {
-		fmt.Printf("  node CCN = %d\n", nCCN(sys, n))
+	sys, err := safetynet.New(cfg, "stress")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "snooping:", err)
+		os.Exit(1)
 	}
 
-	// Inject the transient fault: the next data response vanishes.
-	sys.DropNextDataResponse()
-	sys.Run(600_000)
-	fmt.Printf("\nafter a dropped data response: %d recovery(ies), still running\n", sys.Recoveries)
-	fmt.Printf("instructions: %d (durable, post-rollback)\n", sys.TotalInstrs())
+	// The same composable fault plans the directory system uses arm on
+	// the snoop data network; the drop fires at cycle 400k.
+	if err := sys.Inject(safetynet.DropOnce(400_000)); err != nil {
+		fmt.Fprintln(os.Stderr, "snooping:", err)
+		os.Exit(1)
+	}
+	// A half-switch kill is meaningless on a bus: arm-time validation
+	// rejects it instead of corrupting the run.
+	if err := sys.Inject(safetynet.KillEWSwitch(5, 100_000)); errors.Is(err, safetynet.ErrFaultUnsupported) {
+		fmt.Printf("kill-switch rejected on the bus backend, as it must be:\n  %v\n\n", err)
+	} else {
+		fmt.Fprintf(os.Stderr, "snooping: expected ErrFaultUnsupported, got %v\n", err)
+		os.Exit(1)
+	}
 
-	if ok := sys.Quiesce(200_000); !ok {
+	sys.Start()
+	sys.Run(300_000)
+	r := sys.Result()
+	fmt.Printf("snooping SafetyNet after 300k fault-free cycles: %d instructions, recovery point = checkpoint %d\n",
+		r.Instrs, r.RecoveryPoint)
+
+	fmt.Println("\nlogical time is the shared snoop order — every node agrees exactly:")
+	for _, n := range sys.Snoop().Nodes() {
+		fmt.Printf("  node CCN = %d\n", n.CCN())
+	}
+
+	// Run through the armed drop: the requestor's timeout detects the
+	// loss and the system recovers instead of hanging.
+	sys.Run(1_000_000)
+	r = sys.Result()
+	fmt.Printf("\nafter the dropped data response: %d recovery(ies), %d message(s) lost, still running\n",
+		r.Recoveries, r.MessagesDropped)
+	fmt.Printf("instructions: %d durable (%d rolled back)\n", r.Instrs, r.InstrsRolledBack)
+
+	if ok := sys.Quiesce(400_000); !ok {
 		fmt.Println("warning: failed to quiesce")
 		return
 	}
@@ -50,7 +75,6 @@ func main() {
 	} else {
 		fmt.Printf("violations: %v\n", errs)
 	}
+	fmt.Println()
+	fmt.Print(sys.Summary())
 }
-
-// nCCN reads a node's checkpoint number through the test accessor.
-func nCCN(s *snoop.System, n *snoop.Node) uint32 { return uint32(n.CCN()) }

@@ -1,0 +1,75 @@
+// Package backend defines the protocol-neutral contract every simulated
+// target system satisfies. The paper presents SafetyNet as
+// protocol-agnostic (footnote 1, §2.3): the directory/torus machine
+// (internal/machine) is the evaluated system and the broadcast snooping
+// system (internal/snoop) the didactic one, and both implement the same
+// lifecycle — build, arm faults, run, quiesce, verify coherence, report
+// counters. The experiment harness and the facade program against this
+// interface, so every experiment, fault plan, and CLI flag works on
+// either protocol.
+//
+// The package is a leaf: it names the contract without importing either
+// implementation (harness.NewBackend constructs the concrete systems and
+// asserts they satisfy Backend).
+package backend
+
+import (
+	"safetynet/internal/fault"
+	"safetynet/internal/msg"
+	"safetynet/internal/sim"
+)
+
+// Counters is the protocol-neutral statistics slice every backend
+// reports. Fields are cumulative since construction; callers diff
+// snapshots to measure a window.
+type Counters struct {
+	// Instrs is durable forward progress: instructions retired and not
+	// rolled back by recoveries.
+	Instrs uint64
+	// InstrsRolledBack accumulates instructions undone by recoveries.
+	InstrsRolledBack uint64
+	// StoresLogged and TransfersLogged count CLB update-actions (store
+	// overwrites and ownership transfers).
+	StoresLogged    uint64
+	TransfersLogged uint64
+	// Recoveries counts completed system recoveries.
+	Recoveries int
+	// MessagesSent counts interconnect traffic; MessagesDropped counts
+	// fault-induced losses (injected drops, messages lost in killed or
+	// unroutable switches, discarded-as-corrupt messages) — not the
+	// protocol's own recovery-time discards.
+	MessagesSent    uint64
+	MessagesDropped uint64
+}
+
+// Backend is one simulated SafetyNet target system.
+type Backend interface {
+	// Start launches the processors (and any checkpoint machinery).
+	Start()
+	// Run advances the simulation to the given absolute cycle and returns
+	// the reached time; a crash of an unprotected system stops it early.
+	Run(until sim.Time) sim.Time
+	// Now returns the current simulation time.
+	Now() sim.Time
+	// TotalInstrs sums durable retired instructions across processors.
+	TotalInstrs() uint64
+	// RPCN returns the system recovery point.
+	RPCN() msg.CN
+	// Quiesce pauses the processors and drains outstanding transactions
+	// within the budget, reporting success; CheckCoherence is only
+	// meaningful at quiescence.
+	Quiesce(budget sim.Time) bool
+	// Resume restarts the processors after a Quiesce.
+	Resume()
+	// CheckCoherence verifies the protocol invariants at quiescence and
+	// returns the violations (empty means coherent).
+	CheckCoherence() []string
+	// CrashInfo reports whether the system crashed and why (always false
+	// for protected systems).
+	CrashInfo() (crashed bool, cause string)
+	// Counters returns the cumulative protocol-neutral statistics.
+	Counters() Counters
+	// FaultTarget returns the slice of this system fault events arm on;
+	// events the backend cannot express fail with fault.ErrUnsupported.
+	FaultTarget() fault.Target
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"safetynet/internal/config"
+	"safetynet/internal/fault"
 	"safetynet/internal/machine"
 	"safetynet/internal/sim"
 	"safetynet/internal/snoop"
@@ -97,31 +98,37 @@ func (rep *Report) run(o Options, seed uint64) {
 	m := machine.New(p, workload.Stress())
 	r := sim.NewRand(seed * 77)
 
-	// Randomized fault plan (protected runs only).
+	// Randomized fault plan (protected runs only), armed through the same
+	// composable plans the harness and facade use.
 	if o.Protected {
-		n := r.Intn(7)
+		var plan fault.Plan
 		horizon := o.CyclesPerRun
-		switch n {
+		at := sim.Time(20_000 + r.Uint64n(horizon/2))
+		switch r.Intn(7) {
 		case 1:
-			m.Net.InjectDropOnce(sim.Time(20_000 + r.Uint64n(horizon/2)))
-			rep.Faults++
+			plan = fault.Plan{fault.DropOnce{At: at}}
 		case 2:
-			m.Net.InjectDropEvery(sim.Time(20_000), sim.Time(horizon/4))
-			rep.Faults++
+			plan = fault.Plan{fault.DropEvery{Start: 20_000, Period: sim.Time(horizon / 4)}}
 		case 3:
-			victim := topology.SwitchID(r.Intn(2 * p.NumNodes))
-			m.Net.KillSwitchAt(victim, sim.Time(20_000+r.Uint64n(horizon/2)))
-			rep.Faults++
+			victim := r.Intn(2 * p.NumNodes)
+			axis := topology.EW
+			if victim >= p.NumNodes {
+				victim -= p.NumNodes
+				axis = topology.NS
+			}
+			plan = fault.Plan{fault.KillSwitch{Node: victim, Axis: axis, At: at}}
 		case 4:
-			m.Net.InjectCorruptOnce(sim.Time(20_000 + r.Uint64n(horizon/2)))
-			rep.Faults++
+			plan = fault.Plan{fault.CorruptOnce{At: at}}
 		case 5:
-			m.Net.InjectMisrouteOnce(sim.Time(20_000 + r.Uint64n(horizon/2)))
-			rep.Faults++
+			plan = fault.Plan{fault.MisrouteOnce{At: at}}
 		case 6:
-			m.Net.InjectDuplicateOnce(sim.Time(20_000 + r.Uint64n(horizon/2)))
-			rep.Faults++
+			plan = fault.Plan{fault.DuplicateOnce{At: at}}
 		}
+		if err := plan.Arm(m.FaultTarget()); err != nil {
+			rep.violate(seed, "fault plan failed to arm: %v", err)
+			return
+		}
+		rep.Faults += len(plan)
 	}
 
 	// Verify coherence at the instant each recovery completes (the
@@ -164,8 +171,9 @@ func (rep *Report) run(o Options, seed uint64) {
 }
 
 // CheckSnoop runs the randomized campaign against the broadcast snooping
-// variant: randomized dropped data responses plus the same invariant
-// checks.
+// variant: randomized data-network faults (drops, corruptions,
+// duplications) armed through composable fault plans, plus the same
+// invariant checks.
 func CheckSnoop(o Options) *Report {
 	rep := &Report{}
 	for seed := uint64(1); seed <= uint64(o.Seeds); seed++ {
@@ -181,17 +189,28 @@ func (rep *Report) runSnoop(o Options, seed uint64) {
 	s := snoop.New(cfg, workload.Stress())
 	r := sim.NewRand(seed * 131)
 
-	drops := r.Intn(3)
-	for i := 0; i < drops; i++ {
+	var plan fault.Plan
+	for i, n := 0, r.Intn(3); i < n; i++ {
 		at := sim.Time(20_000 + r.Uint64n(o.CyclesPerRun/2))
-		s.Engine().Schedule(at, s.DropNextDataResponse)
-		rep.Faults++
+		switch r.Intn(3) {
+		case 0:
+			plan = append(plan, fault.DropOnce{At: at})
+		case 1:
+			plan = append(plan, fault.CorruptOnce{At: at})
+		case 2:
+			plan = append(plan, fault.DuplicateOnce{At: at})
+		}
 	}
+	if err := plan.Arm(s.FaultTarget()); err != nil {
+		rep.violate(seed, "snoop: fault plan failed to arm: %v", err)
+		return
+	}
+	rep.Faults += len(plan)
 	s.Start()
 	s.Run(sim.Time(o.CyclesPerRun))
 	rep.Recoveries += s.Recoveries
-	if drops > 0 && s.Dropped() > 0 && s.Recoveries == 0 {
-		rep.violate(seed, "snoop: dropped data response never recovered")
+	if s.Dropped()+s.Corrupted() > 0 && s.Recoveries == 0 {
+		rep.violate(seed, "snoop: lost data response never recovered")
 		return
 	}
 	if !s.Quiesce(sim.Time(o.CyclesPerRun)) {

@@ -7,9 +7,32 @@ package config
 
 import "fmt"
 
+// Coherence-protocol backends. The paper evaluates the directory/torus
+// system and notes (footnote 1, §2.3) that SafetyNet applies equally to a
+// broadcast snooping protocol, where logical time is simply the total
+// snoop order.
+const (
+	// ProtocolDirectory is the MOSI directory protocol on a 2D torus —
+	// the paper's evaluated target system.
+	ProtocolDirectory = "directory"
+	// ProtocolSnoop is the broadcast snooping MOSI protocol on a totally
+	// ordered bus (footnote 1's variant; always SafetyNet-protected).
+	ProtocolSnoop = "snoop"
+)
+
+// Protocols lists the available coherence-protocol backends.
+func Protocols() []string { return []string{ProtocolDirectory, ProtocolSnoop} }
+
 // Params describes one simulated system. The zero value is not meaningful;
 // start from Default and adjust.
 type Params struct {
+	// --- Coherence protocol ---
+
+	// Protocol selects the coherence backend: ProtocolDirectory or
+	// ProtocolSnoop. Empty selects the directory system, so configurations
+	// predating the protocol axis keep their meaning.
+	Protocol string
+
 	// --- Machine geometry ---
 
 	// NumNodes is the number of processor/memory nodes. It must be
@@ -131,6 +154,8 @@ type Params struct {
 // Default returns the paper's Table 2 target system with SafetyNet enabled.
 func Default() Params {
 	return Params{
+		Protocol: ProtocolDirectory,
+
 		NumNodes:    16,
 		TorusWidth:  4,
 		TorusHeight: 4,
@@ -177,6 +202,15 @@ func Unprotected() Params {
 	return p
 }
 
+// ProtocolName returns the selected coherence backend, mapping the empty
+// string to ProtocolDirectory.
+func (p Params) ProtocolName() string {
+	if p.Protocol == "" {
+		return ProtocolDirectory
+	}
+	return p.Protocol
+}
+
 // L1Sets returns the number of L1 sets.
 func (p Params) L1Sets() int { return p.L1Bytes / (p.BlockBytes * p.L1Ways) }
 
@@ -213,13 +247,31 @@ func (p Params) SerializationCycles(bytes int) uint64 {
 
 // Validate reports the first configuration error, or nil.
 func (p Params) Validate() error {
+	switch p.ProtocolName() {
+	case ProtocolDirectory:
+	case ProtocolSnoop:
+		if !p.SafetyNetEnabled {
+			return fmt.Errorf("config: the snooping backend is always SafetyNet-protected (the unprotected baseline exists only on the directory system)")
+		}
+	default:
+		return fmt.Errorf("config: unknown protocol %q (have %q, %q)",
+			p.Protocol, ProtocolDirectory, ProtocolSnoop)
+	}
 	switch {
 	case p.NumNodes <= 0:
 		return fmt.Errorf("config: NumNodes must be positive, got %d", p.NumNodes)
-	case p.TorusWidth*p.TorusHeight != p.NumNodes:
+	case p.ProtocolName() == ProtocolDirectory && p.NumNodes > 32:
+		// The directory's sharer lists and the cache controllers'
+		// invalidation-ack matching are per-node bitmaps (32 and 64 bits);
+		// reject configurations they cannot represent. The snooping bus
+		// has neither structure and scales past this.
+		return fmt.Errorf("config: NumNodes %d exceeds the directory's 32-node sharer-bitmap limit", p.NumNodes)
+	// Torus geometry only constrains the directory backend; the snooping
+	// bus has no switches, so resizing a snoop system needs only NumNodes.
+	case p.ProtocolName() == ProtocolDirectory && p.TorusWidth*p.TorusHeight != p.NumNodes:
 		return fmt.Errorf("config: torus %dx%d does not cover %d nodes",
 			p.TorusWidth, p.TorusHeight, p.NumNodes)
-	case p.TorusWidth < 2 || p.TorusHeight < 2:
+	case p.ProtocolName() == ProtocolDirectory && (p.TorusWidth < 2 || p.TorusHeight < 2):
 		return fmt.Errorf("config: torus dimensions must be >= 2, got %dx%d",
 			p.TorusWidth, p.TorusHeight)
 	case p.BlockBytes <= 0 || p.BlockBytes&(p.BlockBytes-1) != 0:

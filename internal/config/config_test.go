@@ -80,6 +80,9 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 		mut  func(*Params)
 	}{
 		{"zero nodes", func(p *Params) { p.NumNodes = 0 }},
+		{"beyond sharer bitmap", func(p *Params) { p.NumNodes = 64; p.TorusWidth = 8; p.TorusHeight = 8 }},
+		{"unknown protocol", func(p *Params) { p.Protocol = "token" }},
+		{"unprotected snoop", func(p *Params) { p.Protocol = ProtocolSnoop; p.SafetyNetEnabled = false }},
 		{"torus mismatch", func(p *Params) { p.TorusWidth = 3 }},
 		{"tiny torus", func(p *Params) { p.NumNodes = 2; p.TorusWidth = 2; p.TorusHeight = 1 }},
 		{"block not pow2", func(p *Params) { p.BlockBytes = 48 }},

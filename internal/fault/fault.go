@@ -9,6 +9,7 @@
 package fault
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -17,12 +18,44 @@ import (
 	"safetynet/internal/topology"
 )
 
-// Target is the slice of a simulated machine that fault events act on:
-// the interconnect (message-level faults) and the topology (half-switch
-// kills). machine.Machine satisfies it via its Net and Topo fields.
+// ErrUnsupported marks a fault event the target backend cannot express
+// (e.g. a half-switch kill on a snooping bus, which has no switches).
+// Arm wraps it, so callers test with errors.Is.
+var ErrUnsupported = errors.New("fault event unsupported on this backend")
+
+// DataNet is the unordered point-to-point data network of the snooping
+// backend. Message-level fault events arm on it when Target.Data is set;
+// snoop.System implements it.
+type DataNet interface {
+	// InjectDropOnce loses the first data message sent at or after at.
+	InjectDropOnce(at sim.Time)
+	// InjectDropEvery loses one data message per period, starting at start.
+	InjectDropEvery(start, period sim.Time)
+	// InjectCorruptOnce damages one data message sent at or after at; the
+	// endpoint's error-detecting code discovers it on arrival.
+	InjectCorruptOnce(at sim.Time)
+	// InjectDuplicateOnce delivers one data message twice at or after at.
+	InjectDuplicateOnce(at sim.Time)
+}
+
+// Target is the slice of a simulated system that fault events act on.
+// Exactly one backend is addressed: the directory machine sets Net (the
+// torus interconnect, for message-level faults) and Topo (for half-switch
+// kills); the snooping system sets Data (its unordered data network).
+// Arm-time validation rejects events the selected backend cannot express
+// with ErrUnsupported.
 type Target struct {
 	Net  *network.Network
 	Topo *topology.Torus
+	Data DataNet
+}
+
+// validate reports a target with no interconnect at all.
+func (t Target) validate() error {
+	if t.Net == nil && t.Data == nil {
+		return errors.New("target has no interconnect to arm faults on")
+	}
+	return nil
 }
 
 // Event is one typed fault in a Plan. Arm schedules or installs the
@@ -71,8 +104,15 @@ type DropOnce struct {
 }
 
 func (e DropOnce) Arm(t Target) error {
+	if err := t.validate(); err != nil {
+		return err
+	}
 	if e.At <= 0 {
 		return fmt.Errorf("drop time must be positive, got %d", e.At)
+	}
+	if t.Data != nil {
+		t.Data.InjectDropOnce(e.At)
+		return nil
 	}
 	t.Net.InjectDropOnce(e.At)
 	return nil
@@ -88,8 +128,15 @@ type DropEvery struct {
 }
 
 func (e DropEvery) Arm(t Target) error {
+	if err := t.validate(); err != nil {
+		return err
+	}
 	if e.Period <= 0 {
 		return fmt.Errorf("drop period must be positive, got %d", e.Period)
+	}
+	if t.Data != nil {
+		t.Data.InjectDropEvery(e.Start, e.Period)
+		return nil
 	}
 	t.Net.InjectDropEvery(e.Start, e.Period)
 	return nil
@@ -107,8 +154,15 @@ type CorruptOnce struct {
 }
 
 func (e CorruptOnce) Arm(t Target) error {
+	if err := t.validate(); err != nil {
+		return err
+	}
 	if e.At <= 0 {
 		return fmt.Errorf("corruption time must be positive, got %d", e.At)
+	}
+	if t.Data != nil {
+		t.Data.InjectCorruptOnce(e.At)
+		return nil
 	}
 	t.Net.InjectCorruptOnce(e.At)
 	return nil
@@ -124,8 +178,17 @@ type MisrouteOnce struct {
 }
 
 func (e MisrouteOnce) Arm(t Target) error {
+	if err := t.validate(); err != nil {
+		return err
+	}
 	if e.At <= 0 {
 		return fmt.Errorf("misroute time must be positive, got %d", e.At)
+	}
+	if t.Net == nil {
+		// The snoop data network matches responses to transactions by
+		// address, not by routed destination; a misdelivered message is
+		// indistinguishable from a drop there, so the event is undefined.
+		return fmt.Errorf("%w: misrouting needs the routed torus data network", ErrUnsupported)
 	}
 	t.Net.InjectMisrouteOnce(e.At)
 	return nil
@@ -141,8 +204,15 @@ type DuplicateOnce struct {
 }
 
 func (e DuplicateOnce) Arm(t Target) error {
+	if err := t.validate(); err != nil {
+		return err
+	}
 	if e.At <= 0 {
 		return fmt.Errorf("duplication time must be positive, got %d", e.At)
+	}
+	if t.Data != nil {
+		t.Data.InjectDuplicateOnce(e.At)
+		return nil
 	}
 	t.Net.InjectDuplicateOnce(e.At)
 	return nil
@@ -160,6 +230,12 @@ type KillSwitch struct {
 }
 
 func (e KillSwitch) Arm(t Target) error {
+	if err := t.validate(); err != nil {
+		return err
+	}
+	if t.Net == nil || t.Topo == nil {
+		return fmt.Errorf("%w: a snooping bus has no half-switches to kill", ErrUnsupported)
+	}
 	if e.Node < 0 || e.Node >= t.Topo.Nodes() {
 		return fmt.Errorf("node %d out of range [0, %d)", e.Node, t.Topo.Nodes())
 	}

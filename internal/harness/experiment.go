@@ -40,8 +40,10 @@ type Experiment struct {
 }
 
 // Run expands the grid, executes every point (fanning across
-// o.Parallelism workers), and reduces the results.
+// o.Parallelism workers), and reduces the results. Degenerate option
+// sizing is clamped first (see Options.sanitized).
 func (e Experiment) Run(base config.Params, o Options) *Report {
+	o = o.sanitized()
 	var pts []Point
 	if e.Grid != nil {
 		pts = e.Grid(base, o)

@@ -8,10 +8,11 @@ import (
 	"safetynet/internal/config"
 	"safetynet/internal/fault"
 	"safetynet/internal/topology"
+	"safetynet/internal/workload"
 )
 
 func TestRegistryCatalog(t *testing.T) {
-	want := []string{"table2", "fig5", "fig6", "fig7", "fig8", "recovery", "detect"}
+	want := []string{"table2", "fig5", "fig6", "fig7", "fig8", "recovery", "detect", "snoopdetect", "protocols"}
 	if got := Names(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("Names() = %v, want %v", got, want)
 	}
@@ -150,6 +151,125 @@ func TestParallelRunsAreDeterministic(t *testing.T) {
 	if sText != pText {
 		t.Fatalf("parallel run diverged from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", sText, pText)
 	}
+}
+
+// TestSnoopBackendRun drives the snooping system through the shared
+// runner: the protocol-neutral counters must be measured and a fault
+// plan armed on the snoop data network must recover, not crash.
+func TestSnoopBackendRun(t *testing.T) {
+	p := config.Default()
+	p.Protocol = config.ProtocolSnoop
+	res := Run(RunConfig{
+		Params: p, Workload: "jbb", Warmup: 150_000, Measure: 450_000,
+		Fault: fault.Plan{fault.DropOnce{At: 250_000}},
+	})
+	if res.Crashed {
+		t.Fatalf("snoop run crashed: %s", res.CrashCause)
+	}
+	if res.Instrs == 0 || res.IPC <= 0 || res.NetSent == 0 {
+		t.Fatalf("counters not measured: %+v", res)
+	}
+	if res.StoresLogged == 0 || res.TransfersLogged == 0 {
+		t.Fatalf("logging counters empty: %+v", res)
+	}
+	if res.NetDropped != 1 || res.Recoveries == 0 || res.InstrsRolledBack == 0 {
+		t.Fatalf("fault did not convert into a recovery: %+v", res)
+	}
+}
+
+// TestSnoopRunUnsupportedFaultReportsCrash: a plan the snoop backend
+// cannot express fails at arm time and surfaces as a crashed run, never
+// a panic inside a worker.
+func TestSnoopRunUnsupportedFaultReportsCrash(t *testing.T) {
+	p := config.Default()
+	p.Protocol = config.ProtocolSnoop
+	res := Run(RunConfig{
+		Params: p, Workload: "jbb", Warmup: 0, Measure: 10_000,
+		Fault: fault.Plan{fault.KillSwitch{Node: 5, Axis: topology.EW, At: 5_000}},
+	})
+	if !res.Crashed || !strings.Contains(res.CrashCause, "invalid fault plan") {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+// TestNewExperimentsDeterministicUnderParallelism: snoopdetect and
+// protocols must render identically whether their points run serially or
+// on a worker pool.
+func TestNewExperimentsDeterministicUnderParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	base := config.Default()
+	o := Options{Runs: 1, Warmup: 100_000, Measure: 200_000, BaseSeed: 1}
+	for _, name := range []string{"snoopdetect", "protocols"} {
+		serial := o
+		serial.Parallelism = 1
+		parallel := o
+		parallel.Parallelism = 4
+		sRep, err := RunExperiment(name, base, serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pRep, err := RunExperiment(name, base, parallel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sRep.Render() != pRep.Render() {
+			t.Fatalf("%s: parallel rendering differs from serial", name)
+		}
+		if len(sRep.Rows) == 0 {
+			t.Fatalf("%s: empty report", name)
+		}
+	}
+}
+
+// TestProtocolsReportShape checks the side-by-side grid covers every
+// (workload, protocol) pair with both value columns populated.
+func TestProtocolsReportShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rep, err := RunExperiment("protocols", config.Default(),
+		Options{Runs: 1, Warmup: 80_000, Measure: 160_000, BaseSeed: 1, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 10 {
+		t.Fatalf("rows = %d, want 5 workloads x 2 protocols", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		if len(row.Labels) != 2 || len(row.Values) != 2 {
+			t.Fatalf("malformed row: %+v", row)
+		}
+		if row.Values[0].Crashed || row.Values[0].Mean <= 0 {
+			t.Fatalf("point %v measured no throughput: %+v", row.Labels, row.Values)
+		}
+	}
+}
+
+// TestRecoveryGridClampsDegeneratePeriod: a tiny measurement window must
+// not produce a zero-period (unarmable) fault plan.
+func TestRecoveryGridClampsDegeneratePeriod(t *testing.T) {
+	pts := recoveryGrid(config.Default(), Options{Runs: 1, Warmup: 0, Measure: 3, BaseSeed: 1})
+	m := newTestMachineTarget(t)
+	for _, pt := range pts {
+		if err := pt.Run.Fault.Arm(m); err != nil {
+			t.Fatalf("plan %s failed to arm: %v", pt.Run.Fault, err)
+		}
+	}
+}
+
+func newTestMachineTarget(t *testing.T) fault.Target {
+	t.Helper()
+	prof, err := workload.ByName("barnes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, err := NewBackend(config.Default(), prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return be.FaultTarget()
 }
 
 func TestParallelFig6MatchesSerial(t *testing.T) {

@@ -58,22 +58,20 @@ type RunResult struct {
 	NetDropped   uint64
 }
 
+// counters is the directory machine's detailed measurement snapshot; the
+// protocol-neutral counters shared with the snoop backend come from
+// backend.Counters instead.
 type counters struct {
-	instrs  uint64
-	cs      map[string]uint64
-	bw      cache.Bandwidth
-	netSent uint64
-	rolled  uint64
+	cs map[string]uint64
+	bw cache.Bandwidth
 }
 
 func snapshot(m *machine.Machine) counters {
-	c := counters{cs: map[string]uint64{}, instrs: m.TotalInstrs(), rolled: m.InstrsRolledBack}
+	c := counters{cs: map[string]uint64{}}
 	for _, n := range m.Nodes {
 		s := n.CC.Stats()
 		c.cs["stores"] += s.Stores
-		c.cs["storesLogged"] += s.StoresLogged
 		c.cs["reqs"] += s.RequestsIssued
-		c.cs["xfer"] += s.TransfersLogged
 		c.cs["clbStall"] += s.CLBStallCycles
 		c.cs["dirLog"] += n.Dir.Stats().EntriesLogged
 		bw := n.CC.Bandwidth()
@@ -82,46 +80,69 @@ func snapshot(m *machine.Machine) counters {
 		c.bw.CoherenceCycles += bw.CoherenceCycles
 		c.bw.LoggingCycles += bw.LoggingCycles
 	}
-	c.netSent = m.Net.Stats().Sent
 	return c
 }
 
-// Run executes one simulation and returns its measured results.
+// Run executes one simulation on the backend the parameters select and
+// returns its measured results. The protocol-neutral counters (IPC,
+// logging, recoveries, traffic) are measured on every backend; the
+// directory machine additionally reports its detailed bandwidth,
+// directory-log, and CLB-occupancy breakdowns.
 func Run(rc RunConfig) RunResult {
 	prof, err := workload.ByName(rc.Workload)
 	if err != nil {
-		panic(err)
+		// Crashed result, not a panic: see the fault-plan comment below.
+		return RunResult{Crashed: true, CrashCause: "invalid configuration: " + err.Error()}
 	}
-	m := machine.New(rc.Params, prof)
-	if err := rc.Fault.Arm(fault.Target{Net: m.Net, Topo: m.Topo}); err != nil {
+	be, err := NewBackend(rc.Params, prof)
+	if err != nil {
+		return RunResult{Crashed: true, CrashCause: "invalid configuration: " + err.Error()}
+	}
+	if err := rc.Fault.Arm(be.FaultTarget()); err != nil {
 		// Surface an invalid plan as a crashed run rather than panicking:
-		// small-but-legal Options can produce degenerate plans (e.g. a
-		// zero drop period), and a panic inside a parallel worker would
-		// kill the whole process.
+		// small-but-legal Options can produce degenerate plans, and a
+		// panic inside a parallel worker would kill the whole process.
 		return RunResult{Crashed: true, CrashCause: "invalid fault plan: " + err.Error()}
 	}
-	m.Start()
-	m.Run(rc.Warmup)
-	if m.Crashed {
-		return RunResult{Crashed: true, CrashCause: m.CrashCause}
+	m, _ := be.(*machine.Machine) // nil for the snoop backend
+
+	be.Start()
+	be.Run(rc.Warmup)
+	if crashed, cause := be.CrashInfo(); crashed {
+		return RunResult{Crashed: true, CrashCause: cause}
 	}
-	before := snapshot(m)
-	m.Run(rc.Warmup + rc.Measure)
+	cBefore := be.Counters()
+	var before counters
+	if m != nil {
+		before = snapshot(m)
+	}
+	be.Run(rc.Warmup + rc.Measure)
 	res := RunResult{}
-	if m.Crashed {
+	if crashed, cause := be.CrashInfo(); crashed {
 		res.Crashed = true
-		res.CrashCause = m.CrashCause
+		res.CrashCause = cause
+		return res
+	}
+	cAfter := be.Counters()
+
+	res.Cycles = uint64(rc.Measure)
+	res.Instrs = cAfter.Instrs - cBefore.Instrs
+	res.IPC = float64(res.Instrs) / float64(rc.Measure)
+	res.StoresLogged = cAfter.StoresLogged - cBefore.StoresLogged
+	res.TransfersLogged = cAfter.TransfersLogged - cBefore.TransfersLogged
+	res.InstrsRolledBack = cAfter.InstrsRolledBack - cBefore.InstrsRolledBack
+	// Like every other counter, recoveries and losses are window deltas,
+	// so warmup-time faults are not attributed to the measurement.
+	res.Recoveries = cAfter.Recoveries - cBefore.Recoveries
+	res.NetSent = cAfter.MessagesSent - cBefore.MessagesSent
+	res.NetDropped = cAfter.MessagesDropped - cBefore.MessagesDropped
+
+	if m == nil {
 		return res
 	}
 	after := snapshot(m)
-
-	res.Cycles = uint64(rc.Measure)
-	res.Instrs = after.instrs - before.instrs
-	res.IPC = float64(res.Instrs) / float64(rc.Measure)
 	res.StoresTotal = after.cs["stores"] - before.cs["stores"]
-	res.StoresLogged = after.cs["storesLogged"] - before.cs["storesLogged"]
 	res.CoherenceReqs = after.cs["reqs"] - before.cs["reqs"]
-	res.TransfersLogged = after.cs["xfer"] - before.cs["xfer"]
 	res.DirLogged = after.cs["dirLog"] - before.cs["dirLog"]
 	res.CLBStallCycles = after.cs["clbStall"] - before.cs["clbStall"]
 	res.Bandwidth = cache.Bandwidth{
@@ -130,13 +151,14 @@ func Run(rc RunConfig) RunResult {
 		CoherenceCycles: after.bw.CoherenceCycles - before.bw.CoherenceCycles,
 		LoggingCycles:   after.bw.LoggingCycles - before.bw.LoggingCycles,
 	}
-	res.InstrsRolledBack = after.rolled - before.rolled
-	res.NetSent = after.netSent - before.netSent
-	res.NetDropped = m.Net.DroppedTotal()
-
 	if svc := m.ActiveService(); svc != nil {
-		res.Recoveries = len(svc.Recoveries())
-		for _, r := range svc.Recoveries() {
+		recs := svc.Recoveries()
+		// Only the measurement window's recoveries (the cumulative list's
+		// tail, matching the res.Recoveries delta).
+		if len(recs) > res.Recoveries {
+			recs = recs[len(recs)-res.Recoveries:]
+		}
+		for _, r := range recs {
 			res.RecoveryCycles = append(res.RecoveryCycles, r.Duration())
 		}
 	}
@@ -176,6 +198,22 @@ func DefaultOptions() Options {
 // QuickOptions trades precision for speed (single run, short windows).
 func QuickOptions() Options {
 	return Options{Runs: 1, Warmup: 500_000, Measure: 1_500_000, BaseSeed: 1}
+}
+
+// sanitized clamps degenerate sizing so experiment grids never build
+// impossible runs (e.g. a zero-length measurement window turning a
+// derived fault period into zero, which would fail at arm time).
+func (o Options) sanitized() Options {
+	if o.Runs < 1 {
+		o.Runs = 1
+	}
+	if o.Measure < 1 {
+		o.Measure = 1
+	}
+	if o.Parallelism < 1 {
+		o.Parallelism = 1
+	}
+	return o
 }
 
 // perturbed returns the i-th perturbed copy of p: a distinct seed and a

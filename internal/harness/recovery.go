@@ -28,7 +28,14 @@ func recoveryGrid(base config.Params, o Options) []Point {
 	rc := RunConfig{Params: p, Workload: recoveryWorkload, Warmup: o.Warmup, Measure: o.Measure}
 	clean := Point{Labels: map[string]string{"scenario": "fault-free"}, Run: rc}
 	faulty := Point{Labels: map[string]string{"scenario": "faulty"}, Run: rc}
-	faulty.Run.Fault = fault.Plan{fault.DropEvery{Start: o.Warmup, Period: o.Measure / 5}}
+	// Clamp the derived period: integer division of a tiny measurement
+	// window would otherwise build a zero-period plan that fails at arm
+	// time.
+	period := o.Measure / 5
+	if period < 1 {
+		period = 1
+	}
+	faulty.Run.Fault = fault.Plan{fault.DropEvery{Start: o.Warmup, Period: period}}
 	return []Point{clean, faulty}
 }
 

@@ -16,8 +16,9 @@ func (m *Machine) PauseAll() {
 	}
 }
 
-// ResumeAll restarts every processor.
+// ResumeAll restarts every processor (and ends a sticky quiesce).
 func (m *Machine) ResumeAll() {
+	m.quiescing = false
 	for _, n := range m.Nodes {
 		n.Proc.Resume()
 	}
@@ -26,8 +27,11 @@ func (m *Machine) ResumeAll() {
 // Quiesce pauses the processors and runs until every transaction drains
 // (no MSHRs, no writebacks, no busy directory entries, no recovery in
 // progress), or the budget expires. It reports whether the system
-// quiesced.
+// quiesced. The paused state is sticky — a recovery completing or
+// validation back-pressure lifting mid-quiesce does not restart the
+// processors — until Resume.
 func (m *Machine) Quiesce(budget sim.Time) bool {
+	m.quiescing = true
 	m.PauseAll()
 	deadline := m.Eng.Now() + budget
 	for m.Eng.Now() < deadline {

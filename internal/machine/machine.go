@@ -58,6 +58,10 @@ type Machine struct {
 
 	home       protocol.HomeFunc
 	recovering bool
+	// quiescing makes the paused state sticky: recovery restarts and
+	// validation back-pressure releases do not resume the processors
+	// while a Quiesce is draining (see the backend.Backend contract).
+	quiescing bool
 
 	// Crash state of the unprotected baseline.
 	Crashed    bool
@@ -343,11 +347,15 @@ func (n *Node) onValidate(rpcn msg.CN) {
 	}
 	if n.pausedBP && int(n.CC.CCN()-rpcn) <= n.m.P.MaxOutstandingCheckpoints {
 		n.pausedBP = false
-		n.Proc.Resume()
+		if !n.m.quiescing {
+			n.Proc.Resume()
+		}
 	}
 	if n.pausedSync && rpcn >= n.syncWaitFor {
 		n.pausedSync = false
-		n.Proc.Resume()
+		if !n.m.quiescing {
+			n.Proc.Resume()
+		}
 	}
 }
 
@@ -387,8 +395,11 @@ func (n *Node) onRecover(rpcn msg.CN) {
 	})
 }
 
-// onRestart resumes execution after a system-wide recovery.
+// onRestart resumes execution after a system-wide recovery (unless a
+// quiesce in progress keeps the processors paused).
 func (n *Node) onRestart() {
 	n.pausedSync = false
-	n.Proc.Resume()
+	if !n.m.quiescing {
+		n.Proc.Resume()
+	}
 }

@@ -50,7 +50,11 @@ type mshr struct {
 	acksKnown    bool
 	acksNeeded   int
 	acksGot      int
-	lostData     bool
+	// ackFrom records which nodes already acked this transaction, so a
+	// duplicated InvAck (a §5.1 protocol-engine soft fault) is absorbed
+	// by transaction matching instead of overshooting the ack count.
+	ackFrom  uint64
+	lostData bool
 
 	doneLoad  func(uint64)
 	doneStore func()
@@ -569,6 +573,11 @@ func (cc *CacheController) onInvAck(m *msg.Message) {
 	if mm == nil || mm.txn != m.Txn {
 		return
 	}
+	bit := uint64(1) << uint(m.Src)
+	if mm.ackFrom&bit != 0 {
+		return // duplicate delivery of an ack this transaction already has
+	}
+	mm.ackFrom |= bit
 	mm.acksGot++
 	cc.tryCompleteGETX(mm)
 }

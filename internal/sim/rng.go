@@ -28,15 +28,36 @@ func (r *Rand) Intn(n int) int {
 	if n <= 0 {
 		panic("sim: Intn with non-positive n")
 	}
-	return int(r.Uint64() % uint64(n))
+	return int(r.Uint64n(uint64(n)))
 }
 
-// Uint64n returns a pseudo-random uint64 in [0, n). It panics if n == 0.
+// Uint64n returns a pseudo-random uint64 in [0, n), unbiased. It panics
+// if n == 0.
+//
+// Rejection sampling discards draws from the incomplete block of
+// residues at the top of the 64-bit range, which a bare modulo would
+// fold onto the low residues. For the small n the simulator draws
+// (working-set indices, jitter bounds) the rejection probability is
+// ~n/2^64 — vanishingly rare, so existing seeded sequences are
+// unchanged in practice — but for n approaching 2^64 the bare modulo
+// would skew low residues by up to 2x.
 func (r *Rand) Uint64n(n uint64) uint64 {
 	if n == 0 {
 		panic("sim: Uint64n with zero n")
 	}
-	return r.Uint64() % n
+	if n&(n-1) == 0 { // power of two: mask is exact
+		return r.Uint64() & (n - 1)
+	}
+	// Largest acceptable value: the top of the last complete block of n
+	// residues. 2^64 mod n computed in 64 bits as ((2^64-1) mod n + 1) mod n.
+	excess := (^uint64(0)%n + 1) % n
+	limit := ^uint64(0) - excess
+	for {
+		v := r.Uint64()
+		if v <= limit {
+			return v % n
+		}
+	}
 }
 
 // Float64 returns a pseudo-random float64 in [0, 1).

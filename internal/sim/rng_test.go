@@ -76,6 +76,57 @@ func TestRandRoughUniformity(t *testing.T) {
 	}
 }
 
+// TestUint64nUnbiased catches the modulo bias the rejection sampler
+// fixes: for n just above 2^63, a bare `Uint64() % n` folds the top
+// 2^63-1 values onto residues [0, 2^63-1), making the low quarter of the
+// range twice as likely (observed frequency ~0.375 instead of 0.25). The
+// unbiased sampler must stay near 0.25.
+func TestUint64nUnbiased(t *testing.T) {
+	r := NewRand(3)
+	n := uint64(1)<<63 + 1
+	const samples = 20000
+	low := 0
+	for i := 0; i < samples; i++ {
+		v := r.Uint64n(n)
+		if v >= n {
+			t.Fatalf("Uint64n out of range: %d", v)
+		}
+		if v < n/4 {
+			low++
+		}
+	}
+	frac := float64(low) / samples
+	if frac < 0.22 || frac > 0.28 {
+		t.Fatalf("low-quarter frequency %.3f, want ~0.25 (a biased modulo gives ~0.375)", frac)
+	}
+}
+
+// TestUint64nDistribution is the per-bucket sanity check over a small
+// non-power-of-two modulus.
+func TestUint64nDistribution(t *testing.T) {
+	r := NewRand(4)
+	const buckets, samples = 7, 70000
+	counts := make([]int, buckets)
+	for i := 0; i < samples; i++ {
+		counts[r.Uint64n(buckets)]++
+	}
+	want := samples / buckets
+	for b, c := range counts {
+		if c < want*9/10 || c > want*11/10 {
+			t.Fatalf("bucket %d count %d deviates >10%% from %d", b, c, want)
+		}
+	}
+}
+
+func TestUint64nPowerOfTwo(t *testing.T) {
+	r := NewRand(5)
+	for i := 0; i < 10000; i++ {
+		if v := r.Uint64n(256); v >= 256 {
+			t.Fatalf("out of range: %d", v)
+		}
+	}
+}
+
 // Property: snapshot/restore is an exact replay for arbitrary prefixes.
 func TestRandReplayProperty(t *testing.T) {
 	f := func(seed uint64, skip uint8, n uint8) bool {

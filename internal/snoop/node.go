@@ -96,13 +96,15 @@ type nodeSnap struct {
 }
 
 func newNode(id int, sys *System, prof workload.Profile) *Node {
+	// A log entry is an 8-byte address tag plus one block of old data.
+	entryBytes := 8 + sys.cfg.BlockBytes
 	n := &Node{
 		id:          id,
 		sys:         sys,
-		l2:          cache.NewArray(sys.cfg.L2Sets, sys.cfg.L2Ways, 64),
-		clb:         core.NewCLB(sys.cfg.CLBBytes/2, 72),
+		l2:          cache.NewArray(sys.cfg.L2Sets, sys.cfg.L2Ways, sys.cfg.BlockBytes),
+		clb:         core.NewCLB(sys.cfg.CLBBytes/2, entryBytes),
 		mem:         make(map[uint64]uint64),
-		memCLB:      core.NewCLB(sys.cfg.CLBBytes/2, 72),
+		memCLB:      core.NewCLB(sys.cfg.CLBBytes/2, entryBytes),
 		txns:        make(map[uint64]*txn),
 		wbs:         make(map[uint64]*wbBuf),
 		defs:        make(map[uint64][]deferred),
@@ -461,6 +463,7 @@ func (n *Node) recoverTo(rpcn msg.CN) {
 	}
 	s := snap.(nodeSnap)
 	n.gen.Restore(s.gen)
+	n.sys.instrsRolledBack += n.instrs - s.instrs
 	n.instrs = s.instrs
 	n.ring.DropAbove(rpcn)
 	n.ccn = rpcn

@@ -1,8 +1,12 @@
 package snoop
 
 import (
+	"errors"
 	"testing"
 
+	"safetynet/internal/config"
+	"safetynet/internal/fault"
+	"safetynet/internal/topology"
 	"safetynet/internal/workload"
 )
 
@@ -20,8 +24,11 @@ func TestConfigValidation(t *testing.T) {
 	}
 	bad := []func(*Config){
 		func(c *Config) { c.Nodes = 1 },
+		func(c *Config) { c.BlockBytes = 48 },
 		func(c *Config) { c.L2Sets = 0 },
 		func(c *Config) { c.CLBBytes = 10 },
+		// A CLB that fits 64-byte-block entries but not 128-byte ones.
+		func(c *Config) { c.BlockBytes = 128; c.CLBBytes = 200 },
 		func(c *Config) { c.CheckpointInterval = 0 },
 		func(c *Config) { c.MaxOutstanding = 0 },
 		func(c *Config) { c.BusOccupancy = 0 },
@@ -83,7 +90,7 @@ func TestValidationAdvances(t *testing.T) {
 
 func TestDroppedDataResponseRecovers(t *testing.T) {
 	s := testSystem(t, 4)
-	s.Engine().Schedule(50_000, func() { s.DropNextDataResponse() })
+	s.InjectDropOnce(50_000)
 	s.Start()
 	s.Run(400_000)
 	if s.Dropped() != 1 {
@@ -224,6 +231,164 @@ func TestLoggingDedupOnSnoopSubstrate(t *testing.T) {
 	}
 	if logged >= stores {
 		t.Fatalf("dedup ineffective: %d logged of %d stores", logged, stores)
+	}
+}
+
+// TestFaultPlanOnSnoopBackend arms the shared composable fault events on
+// the snoop data network: drops and corruptions recover, duplicates are
+// absorbed by transaction matching, and events the bus cannot express are
+// rejected at arm time.
+func TestFaultPlanOnSnoopBackend(t *testing.T) {
+	s := testSystem(t, 11)
+	plan := fault.Plan{
+		fault.DropOnce{At: 50_000},
+		fault.DuplicateOnce{At: 150_000},
+	}
+	if err := plan.Arm(s.FaultTarget()); err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	s.Run(500_000)
+	if s.Dropped() != 1 || s.Duplicated() != 1 {
+		t.Fatalf("dropped=%d duplicated=%d, want 1/1", s.Dropped(), s.Duplicated())
+	}
+	if s.Recoveries == 0 {
+		t.Fatal("dropped data response did not recover")
+	}
+	if !s.Quiesce(300_000) {
+		t.Fatal("failed to quiesce")
+	}
+	if errs := s.CheckCoherence(); len(errs) != 0 {
+		t.Fatalf("violations: %v", errs[:minInt(len(errs), 5)])
+	}
+}
+
+// TestLayeredPeriodicDrops: two DropEvery schedules armed on one run
+// both fire, mirroring the directory network's independent drop rules.
+func TestLayeredPeriodicDrops(t *testing.T) {
+	s := testSystem(t, 14)
+	plan := fault.Plan{
+		fault.DropEvery{Start: 40_000, Period: 400_000},
+		fault.DropEvery{Start: 120_000, Period: 400_000},
+	}
+	if err := plan.Arm(s.FaultTarget()); err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	s.Run(350_000)
+	if s.Dropped() < 2 {
+		t.Fatalf("dropped = %d, want both schedules to fire", s.Dropped())
+	}
+	if s.Recoveries == 0 {
+		t.Fatal("no recovery despite layered drops")
+	}
+}
+
+func TestCorruptedDataResponseRecovers(t *testing.T) {
+	s := testSystem(t, 12)
+	if err := (fault.Plan{fault.CorruptOnce{At: 60_000}}).Arm(s.FaultTarget()); err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	s.Run(500_000)
+	if s.Corrupted() != 1 {
+		t.Fatalf("corrupted = %d, want 1", s.Corrupted())
+	}
+	if s.Recoveries == 0 {
+		t.Fatal("corrupted data response did not trigger a recovery")
+	}
+	if !s.Quiesce(300_000) {
+		t.Fatal("failed to quiesce")
+	}
+	if errs := s.CheckCoherence(); len(errs) != 0 {
+		t.Fatalf("violations: %v", errs[:minInt(len(errs), 5)])
+	}
+}
+
+func TestUnsupportedEventsRejectedAtArmTime(t *testing.T) {
+	s := testSystem(t, 13)
+	for _, ev := range []fault.Event{
+		fault.KillSwitch{Node: 1, Axis: topology.EW, At: 10_000},
+		fault.MisrouteOnce{At: 10_000},
+	} {
+		err := ev.Arm(s.FaultTarget())
+		if !errors.Is(err, fault.ErrUnsupported) {
+			t.Fatalf("%s: err = %v, want ErrUnsupported", ev, err)
+		}
+	}
+}
+
+// TestNonStandardBlockSize covers the satellite fix for the formerly
+// hardcoded 64-byte home interleave: with 128-byte blocks the home
+// function must still spread blocks across every bank, and a full run
+// must stay coherent.
+func TestNonStandardBlockSize(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BlockBytes = 128
+	cfg.Seed = 5
+	s := New(cfg, workload.Stress())
+
+	seen := make(map[int]bool)
+	for i := uint64(0); i < 64; i++ {
+		h := s.home(i * uint64(cfg.BlockBytes))
+		if h < 0 || h >= cfg.Nodes {
+			t.Fatalf("home(%d) = %d out of range", i, h)
+		}
+		seen[h] = true
+	}
+	if len(seen) != cfg.Nodes {
+		// The old addr/64 interleave maps 128-byte-aligned addresses onto
+		// even banks only; deriving from the configured block size must
+		// reach all of them.
+		t.Fatalf("homes cover %d of %d banks", len(seen), cfg.Nodes)
+	}
+
+	s.Start()
+	s.Run(300_000)
+	if s.TotalInstrs() == 0 {
+		t.Fatal("no progress with 128-byte blocks")
+	}
+	if !s.Quiesce(200_000) {
+		t.Fatal("failed to quiesce")
+	}
+	if errs := s.CheckCoherence(); len(errs) != 0 {
+		t.Fatalf("violations: %v", errs[:minInt(len(errs), 5)])
+	}
+}
+
+func TestFromParamsDerivesConfig(t *testing.T) {
+	p := config.Default()
+	p.BlockBytes = 128
+	c := FromParams(p)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Nodes != p.NumNodes || c.BlockBytes != 128 || c.L2Ways != p.L2Ways {
+		t.Fatalf("geometry not carried over: %+v", c)
+	}
+	if c.L2Sets != p.L2Bytes/(p.BlockBytes*p.L2Ways) {
+		t.Fatalf("L2Sets = %d", c.L2Sets)
+	}
+	if c.CheckpointInterval == 0 || c.TimeoutCycles != 25_000 {
+		t.Fatalf("timing not carried over: %+v", c)
+	}
+}
+
+// BenchmarkSnoopDataSend covers the satellite fix moving the data
+// network's per-message closure onto the pooled ScheduleArg path: the
+// steady-state send-deliver round trip must not allocate.
+func BenchmarkSnoopDataSend(b *testing.B) {
+	cfg := DefaultConfig()
+	// Push the watchdog beyond the benchmark horizon: the processors are
+	// never started, so a watchdog recovery would wake them and measure
+	// the whole system instead of the data network.
+	cfg.WatchdogCycles = 1 << 40
+	s := New(cfg, workload.Stress())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.sendData(0, 1, 0x1000, uint64(i), 1, 0)
+		s.eng.Run(s.eng.Now() + cfg.DataLatency + 1)
 	}
 }
 

@@ -2,8 +2,12 @@ package snoop
 
 import (
 	"fmt"
+	"sync"
 
+	"safetynet/internal/backend"
 	"safetynet/internal/cache"
+	"safetynet/internal/config"
+	"safetynet/internal/fault"
 	"safetynet/internal/msg"
 	"safetynet/internal/sim"
 	"safetynet/internal/workload"
@@ -11,7 +15,10 @@ import (
 
 // Config sizes the snooping system.
 type Config struct {
-	Nodes          int
+	Nodes int
+	// BlockBytes is the coherence block size; the home-bank interleave
+	// and the cache geometry both derive from it.
+	BlockBytes     int
 	L2Sets, L2Ways int
 	CLBBytes       int
 	// CheckpointInterval is the logical-time checkpoint period in bus
@@ -28,8 +35,9 @@ type Config struct {
 // DefaultConfig returns an 8-node snooping system.
 func DefaultConfig() Config {
 	return Config{
-		Nodes:  8,
-		L2Sets: 64, L2Ways: 4,
+		Nodes:      8,
+		BlockBytes: 64,
+		L2Sets:     64, L2Ways: 4,
 		CLBBytes:           256 << 10,
 		CheckpointInterval: 128,
 		MaxOutstanding:     4,
@@ -40,15 +48,47 @@ func DefaultConfig() Config {
 	}
 }
 
+// FromParams derives a snooping-system configuration from the shared
+// target-system parameters, so the harness and facade can aim one
+// config.Params at either backend. Geometry, logging capacity, and
+// detection latencies carry over directly; the checkpoint interval is
+// re-expressed in bus slots — logical time on the ordered interconnect
+// advances one unit per broadcast, and the blocking processors keep the
+// address bus near saturation (one slot per BusOccupancy cycles), so the
+// wall-clock checkpoint cadence lands near the configured interval.
+func FromParams(p config.Params) Config {
+	c := DefaultConfig()
+	c.Nodes = p.NumNodes
+	c.BlockBytes = p.BlockBytes
+	c.L2Sets = p.L2Sets()
+	c.L2Ways = p.L2Ways
+	c.CLBBytes = p.CLBBytes
+	c.MaxOutstanding = p.MaxOutstandingCheckpoints
+	c.TimeoutCycles = sim.Time(p.RequestTimeoutCycles)
+	c.WatchdogCycles = sim.Time(p.ValidationWatchdogCycles)
+	c.Seed = p.Seed
+	if iv := p.CheckpointIntervalCycles / uint64(c.BusOccupancy); iv > 0 {
+		c.CheckpointInterval = iv
+	} else {
+		c.CheckpointInterval = 1
+	}
+	return c
+}
+
 // Validate reports the first configuration error.
 func (c Config) Validate() error {
 	switch {
 	case c.Nodes < 2:
 		return fmt.Errorf("snoop: need at least 2 nodes")
+	case c.BlockBytes <= 0 || c.BlockBytes&(c.BlockBytes-1) != 0:
+		return fmt.Errorf("snoop: block size must be a positive power of two, got %d", c.BlockBytes)
 	case c.L2Sets <= 0 || c.L2Ways <= 0:
 		return fmt.Errorf("snoop: bad cache geometry")
-	case c.CLBBytes < 144:
-		return fmt.Errorf("snoop: CLB too small")
+	case c.CLBBytes < 2*(8+c.BlockBytes):
+		// Each of the two CLB halves (cache-side and memory-side) must
+		// hold at least one 8-byte-tag + one-block entry.
+		return fmt.Errorf("snoop: CLB of %d bytes cannot hold one entry per half at %d-byte blocks",
+			c.CLBBytes, c.BlockBytes)
 	case c.CheckpointInterval == 0:
 		return fmt.Errorf("snoop: zero checkpoint interval")
 	case c.MaxOutstanding < 1:
@@ -71,15 +111,49 @@ type System struct {
 	rpcn        msg.CN
 	lastAdvance sim.Time
 	recovering  bool
+	quiescing   bool
 	dataEpoch   int
 
-	dropNextData bool
-	dropped      uint64
+	faults           dataFaults
+	dataSent         uint64
+	dropped          uint64
+	corrupted        uint64
+	duplicated       uint64
+	instrsRolledBack uint64
 
 	// Recoveries counts completed recoveries.
 	Recoveries int
 	// Validations counts recovery-point advances.
 	Validations uint64
+}
+
+// dataFaults holds the armed fault events of the unordered data network.
+// One-shot events fire on the first data message sent at or after their
+// scheduled cycle; slices stay nil on fault-free runs so the send path
+// pays only a couple of nil checks.
+type dataFaults struct {
+	dropOnce      []sim.Time
+	corruptOnce   []sim.Time
+	duplicateOnce []sim.Time
+	dropEvery     []periodicDrop
+}
+
+// periodicDrop is one armed DropEvery schedule; schedules layer — each
+// arm installs an independent one, as the directory network's drop rules
+// do.
+type periodicDrop struct {
+	next, period sim.Time
+}
+
+// takeOne consumes and reports an armed one-shot whose cycle has arrived.
+func takeOne(armed *[]sim.Time, now sim.Time) bool {
+	for i, at := range *armed {
+		if now >= at {
+			*armed = append((*armed)[:i], (*armed)[i+1:]...)
+			return true
+		}
+	}
+	return false
 }
 
 // New builds the system with every processor running the given workload.
@@ -109,7 +183,11 @@ func (s *System) RPCN() msg.CN { return s.rpcn }
 // Nodes returns the node list (for tests).
 func (s *System) Nodes() []*Node { return s.nodes }
 
-func (s *System) home(addr uint64) int { return int((addr / 64) % uint64(s.cfg.Nodes)) }
+// home interleaves block homes across the memory banks at the configured
+// block granularity.
+func (s *System) home(addr uint64) int {
+	return int((addr / uint64(s.cfg.BlockBytes)) % uint64(s.cfg.Nodes))
+}
 
 func (s *System) anyCacheOwner(addr uint64) bool {
 	for _, n := range s.nodes {
@@ -129,29 +207,112 @@ func (s *System) dispatch(r *Request) {
 	}
 }
 
+// dataMsg is the pooled in-flight state of one data-network message;
+// pooling plus the engine's AfterArg path keeps the steady-state send
+// free of per-message closure allocations.
+type dataMsg struct {
+	sys     *System
+	to      int
+	addr    uint64
+	data    uint64
+	cn      msg.CN
+	epoch   int
+	corrupt bool
+}
+
+var dataMsgPool = sync.Pool{New: func() any { return new(dataMsg) }}
+
+// deliverDataArg is the long-lived dispatch function handed to AfterArg.
+func deliverDataArg(a any) { a.(*dataMsg).deliver() }
+
+func (d *dataMsg) deliver() {
+	s := d.sys
+	if d.epoch == s.dataEpoch { // otherwise discarded by a recovery
+		if d.corrupt {
+			// The endpoint's error-detecting code discovers the damage on
+			// arrival and reports the fault; the message is unusable, so
+			// the requestor's loss converts into a recovery.
+			s.Recover()
+		} else {
+			s.nodes[d.to].dataArrived(d.addr, d.data, d.cn)
+		}
+	}
+	*d = dataMsg{}
+	dataMsgPool.Put(d)
+}
+
 // sendData models the unordered point-to-point data network; this is
-// where the transient fault (a dropped data response) lives.
+// where the message-level fault events (dropped, corrupted, duplicated
+// data) live.
 func (s *System) sendData(from, to int, addr, data uint64, cn msg.CN, slot uint64) {
-	if s.dropNextData {
-		s.dropNextData = false
+	now := s.eng.Now()
+	f := &s.faults
+	// Count the send before the fault checks: a dropped message was sent
+	// and then lost, matching the directory network's accounting so
+	// cross-backend traffic/loss comparisons line up.
+	s.dataSent++
+	if takeOne(&f.dropOnce, now) {
 		s.dropped++
 		return
 	}
-	ep := s.dataEpoch
-	s.eng.After(s.cfg.DataLatency, func() {
-		if ep != s.dataEpoch {
-			return // discarded by a recovery
+	for i := range f.dropEvery {
+		if p := &f.dropEvery[i]; now >= p.next {
+			p.next = now + p.period
+			s.dropped++
+			return
 		}
-		s.nodes[to].dataArrived(addr, data, cn)
-	})
+	}
+	d := dataMsgPool.Get().(*dataMsg)
+	*d = dataMsg{sys: s, to: to, addr: addr, data: data, cn: cn, epoch: s.dataEpoch}
+	if takeOne(&f.corruptOnce, now) {
+		// Counted at send like drops, so the loss stays accounted even if
+		// a recovery already in flight discards the damaged message.
+		s.corrupted++
+		d.corrupt = true
+		d.data ^= 0xbad_c0de_bad_c0de
+	}
+	s.eng.AfterArg(s.cfg.DataLatency, deliverDataArg, d)
+	if takeOne(&f.duplicateOnce, now) {
+		dup := dataMsgPool.Get().(*dataMsg)
+		*dup = *d
+		s.duplicated++
+		s.dataSent++
+		// The duplicate trails its original by one cycle; transaction
+		// matching at the endpoint must absorb it.
+		s.eng.AfterArg(s.cfg.DataLatency+1, deliverDataArg, dup)
+	}
 }
 
-// DropNextDataResponse arms the transient fault: the next data response
-// vanishes in the interconnect.
-func (s *System) DropNextDataResponse() { s.dropNextData = true }
+// InjectDropOnce loses the first data message sent at or after at.
+func (s *System) InjectDropOnce(at sim.Time) {
+	s.faults.dropOnce = append(s.faults.dropOnce, at)
+}
+
+// InjectDropEvery loses one data message per period, starting at start.
+// Repeated calls layer independent schedules.
+func (s *System) InjectDropEvery(start, period sim.Time) {
+	s.faults.dropEvery = append(s.faults.dropEvery, periodicDrop{next: start, period: period})
+}
+
+// InjectCorruptOnce damages one data message sent at or after at; the
+// endpoint's error-detecting code discovers it on arrival.
+func (s *System) InjectCorruptOnce(at sim.Time) {
+	s.faults.corruptOnce = append(s.faults.corruptOnce, at)
+}
+
+// InjectDuplicateOnce delivers one data message twice at or after at.
+func (s *System) InjectDuplicateOnce(at sim.Time) {
+	s.faults.duplicateOnce = append(s.faults.duplicateOnce, at)
+}
 
 // Dropped returns injected losses so far.
 func (s *System) Dropped() uint64 { return s.dropped }
+
+// Corrupted returns injected corruptions detected so far.
+func (s *System) Corrupted() uint64 { return s.corrupted }
+
+// Duplicated returns injected duplications so far.
+func (s *System) Duplicated() uint64 { return s.duplicated }
 
 // Start launches the processors.
 func (s *System) Start() {
@@ -164,6 +325,9 @@ func (s *System) Start() {
 // Run advances the simulation.
 func (s *System) Run(until sim.Time) sim.Time { return s.eng.Run(until) }
 
+// Now returns the current simulation time.
+func (s *System) Now() sim.Time { return s.eng.Now() }
+
 // TotalInstrs sums durable retired instructions.
 func (s *System) TotalInstrs() uint64 {
 	var t uint64
@@ -171,6 +335,31 @@ func (s *System) TotalInstrs() uint64 {
 		t += n.instrs
 	}
 	return t
+}
+
+// CrashInfo reports the crash state; the snooping system is always
+// SafetyNet-protected, so it never crashes.
+func (s *System) CrashInfo() (bool, string) { return false, "" }
+
+// FaultTarget returns the unordered data network fault events arm on;
+// events needing the routed torus (misroutes, switch kills) are rejected
+// at arm time with fault.ErrUnsupported.
+func (s *System) FaultTarget() fault.Target { return fault.Target{Data: s} }
+
+// Counters returns the cumulative protocol-neutral statistics.
+func (s *System) Counters() backend.Counters {
+	c := backend.Counters{
+		Instrs:           s.TotalInstrs(),
+		InstrsRolledBack: s.instrsRolledBack,
+		Recoveries:       s.Recoveries,
+		MessagesSent:     s.bus.Broadcasts + s.dataSent,
+		MessagesDropped:  s.dropped + s.corrupted,
+	}
+	for _, n := range s.nodes {
+		c.StoresLogged += n.StoresLogged
+		c.TransfersLogged += n.TransfersLogged
+	}
+	return c
 }
 
 // onEdge re-evaluates validation whenever logical time advances.
@@ -203,7 +392,7 @@ func (s *System) tryValidate() {
 		n.clb.DeallocateThrough(min)
 		n.memCLB.DeallocateThrough(min)
 		n.ring.DropBelow(min)
-		if !n.running && !s.recovering && int(n.ccn-min) <= s.cfg.MaxOutstanding {
+		if !n.running && !s.recovering && !s.quiescing && int(n.ccn-min) <= s.cfg.MaxOutstanding {
 			n.running = true
 			n.step()
 		}
@@ -240,6 +429,9 @@ func (s *System) Recover() {
 			s.recovering = false
 			s.lastAdvance = s.eng.Now()
 			s.Recoveries++
+			if s.quiescing {
+				return // the quiesce in progress keeps the processors paused
+			}
 			for _, n := range s.nodes {
 				n.running = true
 				n.step()
@@ -317,8 +509,11 @@ func (s *System) CheckCoherence() []string {
 	return errs
 }
 
-// Quiesce pauses processors and drains transactions.
+// Quiesce pauses processors and drains transactions. The paused state is
+// sticky — validation advances and recoveries completing mid-quiesce do
+// not restart the processors — until Resume.
 func (s *System) Quiesce(budget sim.Time) bool {
+	s.quiescing = true
 	for _, n := range s.nodes {
 		n.running = false
 	}
@@ -340,6 +535,7 @@ func (s *System) Quiesce(budget sim.Time) bool {
 
 // Resume restarts the processors after a Quiesce.
 func (s *System) Resume() {
+	s.quiescing = false
 	for _, n := range s.nodes {
 		if !n.running {
 			n.running = true

@@ -12,6 +12,14 @@
 // baseline crashes where the protected system takes a sub-millisecond
 // recovery.
 //
+// Two coherence backends share one harness (paper footnote 1, §2.3):
+// Config.Protocol selects the evaluated directory/torus machine
+// (ProtocolDirectory, the default) or the broadcast snooping system on a
+// totally ordered bus (ProtocolSnoop), where logical time is simply the
+// total snoop order. Experiments, fault plans, and CLI flags work on
+// both; events a backend cannot express (a half-switch kill on the bus)
+// are rejected at arm time with ErrFaultUnsupported.
+//
 // Quick start:
 //
 //	cfg := safetynet.DefaultConfig()
@@ -34,11 +42,13 @@ import (
 	"fmt"
 	"strings"
 
+	"safetynet/internal/backend"
 	"safetynet/internal/config"
 	"safetynet/internal/fault"
 	"safetynet/internal/harness"
 	"safetynet/internal/machine"
 	"safetynet/internal/sim"
+	"safetynet/internal/snoop"
 	"safetynet/internal/topology"
 	"safetynet/internal/workload"
 )
@@ -47,11 +57,31 @@ import (
 // DefaultConfig for the paper's Table 2 values.
 type Config = config.Params
 
+// Protocol backends selectable through Config.Protocol: the paper's
+// evaluated MOSI directory over a 2D torus, and footnote 1's broadcast
+// snooping variant on a totally ordered bus.
+const (
+	ProtocolDirectory = config.ProtocolDirectory
+	ProtocolSnoop     = config.ProtocolSnoop
+)
+
+// Protocols lists the available coherence-protocol backends.
+func Protocols() []string { return config.Protocols() }
+
 // DefaultConfig returns the paper's target system with SafetyNet enabled.
 func DefaultConfig() Config { return config.Default() }
 
 // UnprotectedConfig returns the baseline system without SafetyNet.
 func UnprotectedConfig() Config { return config.Unprotected() }
+
+// SnoopConfig returns the default configuration aimed at the broadcast
+// snooping backend (always SafetyNet-protected; the snoop system derives
+// its bus-level sizing from these shared parameters).
+func SnoopConfig() Config {
+	p := config.Default()
+	p.Protocol = config.ProtocolSnoop
+	return p
+}
 
 // Workloads lists the available workload presets (the paper's five
 // evaluation workloads plus a protocol stress profile).
@@ -60,44 +90,66 @@ func Workloads() []string { return workload.Names() }
 // PaperWorkloads lists the five evaluation workloads in Figure 5 order.
 func PaperWorkloads() []string { return workload.PaperWorkloads() }
 
-// System is one simulated machine running a workload.
+// System is one simulated machine running a workload, on whichever
+// coherence backend the configuration selects.
 type System struct {
-	m        *machine.Machine
+	be       backend.Backend
+	m        *machine.Machine // non-nil only for the directory backend
+	sn       *snoop.System    // non-nil only for the snoop backend
 	cfg      Config
 	workload string
 }
 
 // New builds a system running the named workload preset on every
-// processor.
+// processor. Config.Protocol selects the backend: the MOSI directory
+// machine (default) or the broadcast snooping system.
 func New(cfg Config, workloadName string) (*System, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
 	prof, err := workload.ByName(workloadName)
 	if err != nil {
 		return nil, err
 	}
-	return &System{m: machine.New(cfg, prof), cfg: cfg, workload: workloadName}, nil
+	be, err := harness.NewBackend(cfg, prof)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{be: be, cfg: cfg, workload: workloadName}
+	s.m, _ = be.(*machine.Machine)
+	s.sn, _ = be.(*snoop.System)
+	return s, nil
 }
 
 // Start launches the processors and, when SafetyNet is enabled, the
 // checkpoint clock and service controllers.
-func (s *System) Start() { s.m.Start() }
+func (s *System) Start() { s.be.Start() }
 
 // Run advances the simulation to the given absolute cycle (1 cycle = 1 ns
 // at the modeled 1 GHz) and returns the reached time. A crash of the
 // unprotected baseline stops the run early.
 func (s *System) Run(untilCycle uint64) uint64 {
-	return uint64(s.m.Run(sim.Time(untilCycle)))
+	return uint64(s.be.Run(sim.Time(untilCycle)))
 }
 
 // RunFor advances the simulation by the given number of cycles.
 func (s *System) RunFor(cycles uint64) uint64 {
-	return uint64(s.m.Run(s.m.Eng.Now() + sim.Time(cycles)))
+	return uint64(s.be.Run(s.be.Now() + sim.Time(cycles)))
 }
 
 // Now returns the current simulation time in cycles.
-func (s *System) Now() uint64 { return uint64(s.m.Eng.Now()) }
+func (s *System) Now() uint64 { return uint64(s.be.Now()) }
+
+// Quiesce pauses the processors and drains outstanding transactions
+// within the budget, reporting success. CheckCoherence is only
+// meaningful at quiescence.
+func (s *System) Quiesce(budgetCycles uint64) bool {
+	return s.be.Quiesce(sim.Time(budgetCycles))
+}
+
+// Resume restarts the processors after a Quiesce.
+func (s *System) Resume() { s.be.Resume() }
+
+// CheckCoherence verifies the protocol invariants at quiescence and
+// returns the violations (empty means coherent).
+func (s *System) CheckCoherence() []string { return s.be.CheckCoherence() }
 
 // ---------------------------------------------------------------------
 // Fault injection
@@ -156,16 +208,24 @@ func DuplicateOnce(atCycle uint64) FaultEvent {
 	return fault.DuplicateOnce{At: sim.Time(atCycle)}
 }
 
+// ErrFaultUnsupported marks a fault event the selected backend cannot
+// express (e.g. a half-switch kill on the snooping bus); Inject wraps it,
+// so callers test with errors.Is.
+var ErrFaultUnsupported = fault.ErrUnsupported
+
 // Inject arms the given fault events on this system, in order. Call it
-// before Start; an event with impossible parameters reports an error and
+// before Start; an event with impossible parameters — or one the selected
+// backend cannot express (ErrFaultUnsupported) — reports an error and
 // arms nothing further.
 func (s *System) Inject(events ...FaultEvent) error {
-	return fault.Plan(events).Arm(fault.Target{Net: s.m.Net, Topo: s.m.Topo})
+	return fault.Plan(events).Arm(s.be.FaultTarget())
 }
 
 // Result summarizes a run.
 type Result struct {
-	Workload  string
+	Workload string
+	// Protocol is the coherence backend the run used.
+	Protocol  string
 	Protected bool
 	Cycles    uint64
 	// Instrs is durable forward progress: instructions retired and not
@@ -189,28 +249,26 @@ type Result struct {
 
 // Result returns the current run summary.
 func (s *System) Result() Result {
+	c := s.be.Counters()
+	crashed, cause := s.be.CrashInfo()
 	r := Result{
 		Workload:         s.workload,
+		Protocol:         s.cfg.ProtocolName(),
 		Protected:        s.cfg.SafetyNetEnabled,
-		Cycles:           uint64(s.m.Eng.Now()),
-		Instrs:           s.m.TotalInstrs(),
-		Crashed:          s.m.Crashed,
-		CrashCause:       s.m.CrashCause,
-		RecoveryPoint:    uint32(s.m.RPCN()),
-		InstrsRolledBack: s.m.InstrsRolledBack,
-		MessagesSent:     s.m.Net.Stats().Sent,
-		MessagesDropped:  s.m.Net.DroppedTotal(),
+		Cycles:           uint64(s.be.Now()),
+		Instrs:           c.Instrs,
+		Crashed:          crashed,
+		CrashCause:       cause,
+		RecoveryPoint:    uint32(s.be.RPCN()),
+		Recoveries:       c.Recoveries,
+		InstrsRolledBack: c.InstrsRolledBack,
+		StoresLogged:     c.StoresLogged,
+		TransfersLogged:  c.TransfersLogged,
+		MessagesSent:     c.MessagesSent,
+		MessagesDropped:  c.MessagesDropped,
 	}
 	if r.Cycles > 0 {
 		r.IPC = float64(r.Instrs) / float64(r.Cycles)
-	}
-	if svc := s.m.ActiveService(); svc != nil {
-		r.Recoveries = len(svc.Recoveries())
-	}
-	for _, n := range s.m.Nodes {
-		cs := n.CC.Stats()
-		r.StoresLogged += cs.StoresLogged
-		r.TransfersLogged += cs.TransfersLogged
 	}
 	return r
 }
@@ -223,7 +281,8 @@ func (s *System) Summary() string {
 	if !r.Protected {
 		mode = "unprotected"
 	}
-	fmt.Fprintf(&b, "workload %s on 16-way %s system\n", r.Workload, mode)
+	fmt.Fprintf(&b, "workload %s on %d-node %s %s system\n",
+		r.Workload, s.cfg.NumNodes, r.Protocol, mode)
 	fmt.Fprintf(&b, "  cycles:            %d (%.3f ms at 1 GHz)\n", r.Cycles, float64(r.Cycles)/1e6)
 	fmt.Fprintf(&b, "  instructions:      %d (aggregate IPC %.3f)\n", r.Instrs, r.IPC)
 	if r.Crashed {
@@ -239,9 +298,14 @@ func (s *System) Summary() string {
 	return b.String()
 }
 
-// Machine exposes the underlying machine for white-box inspection (used
-// by the examples and the randomized checker).
+// Machine exposes the underlying directory machine for white-box
+// inspection (used by the examples and the randomized checker). It is nil
+// when the snoop backend is selected; see Snoop.
 func (s *System) Machine() *machine.Machine { return s.m }
+
+// Snoop exposes the underlying snooping system for white-box inspection.
+// It is nil when the directory backend is selected.
+func (s *System) Snoop() *snoop.System { return s.sn }
 
 // ---------------------------------------------------------------------
 // Experiment harness (one entry point per table/figure)
@@ -306,3 +370,15 @@ func RunRecovery(cfg Config, o ExperimentOptions) string { return harness.Recove
 
 // RunDetect sweeps fault-detection latency (§3.4).
 func RunDetect(cfg Config, o ExperimentOptions) string { return harness.Detect(cfg, o).Render() }
+
+// RunSnoopDetect sweeps detection latency on the snooping backend
+// (fn. 1, §2.3).
+func RunSnoopDetect(cfg Config, o ExperimentOptions) string {
+	return harness.SnoopDetect(cfg, o).Render()
+}
+
+// RunProtocols compares directory and snooping SafetyNet side by side
+// across the five paper workloads.
+func RunProtocols(cfg Config, o ExperimentOptions) string {
+	return harness.Protocols(cfg, o).Render()
+}

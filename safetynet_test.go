@@ -1,6 +1,7 @@
 package safetynet
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -118,6 +119,117 @@ func TestKillSwitchThroughFacade(t *testing.T) {
 	}
 	if sys.Machine().Topo.DeadCount() != 1 {
 		t.Fatal("switch not killed")
+	}
+}
+
+// TestSnoopBackendThroughFacade is the facade-level protocol-promotion
+// test: a snoop-backed System accepts a composable fault plan, observes
+// a recovery (not a crash), and passes the coherence check.
+func TestSnoopBackendThroughFacade(t *testing.T) {
+	sys, err := New(SnoopConfig(), "stress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Machine() != nil || sys.Snoop() == nil {
+		t.Fatal("snoop backend not selected")
+	}
+	if err := sys.Inject(DropOnce(200_000), DuplicateOnce(500_000)); err != nil {
+		t.Fatal(err)
+	}
+	sys.Start()
+	sys.Run(1_200_000)
+	r := sys.Result()
+	if r.Crashed {
+		t.Fatalf("snoop system crashed: %s", r.CrashCause)
+	}
+	if r.Protocol != ProtocolSnoop || !r.Protected {
+		t.Fatalf("result = %+v", r)
+	}
+	if r.Recoveries == 0 || r.InstrsRolledBack == 0 {
+		t.Fatalf("dropped data response did not recover: %+v", r)
+	}
+	if r.MessagesDropped != 1 {
+		t.Fatalf("MessagesDropped = %d, want 1", r.MessagesDropped)
+	}
+	if r.RecoveryPoint < 2 || r.StoresLogged == 0 {
+		t.Fatalf("SafetyNet machinery idle: %+v", r)
+	}
+	s := sys.Summary()
+	for _, want := range []string{"snoop", "SafetyNet", "recovery point"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary missing %q:\n%s", want, s)
+		}
+	}
+	if !sys.Quiesce(400_000) {
+		t.Fatal("failed to quiesce")
+	}
+	if errs := sys.CheckCoherence(); len(errs) != 0 {
+		t.Fatalf("violations: %v", errs)
+	}
+}
+
+// TestUnsupportedFaultRejectedThroughFacade: events the bus backend
+// cannot express fail Inject with the typed sentinel.
+func TestUnsupportedFaultRejectedThroughFacade(t *testing.T) {
+	sys, err := New(SnoopConfig(), "stress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Inject(KillEWSwitch(5, 100_000)); !errors.Is(err, ErrFaultUnsupported) {
+		t.Fatalf("err = %v, want ErrFaultUnsupported", err)
+	}
+	if err := sys.Inject(MisrouteOnce(100_000)); !errors.Is(err, ErrFaultUnsupported) {
+		t.Fatalf("err = %v, want ErrFaultUnsupported", err)
+	}
+}
+
+// TestSnoopConfigResizesWithoutTorus: the bus backend has no torus, so
+// resizing a snooping system needs only NumNodes.
+func TestSnoopConfigResizesWithoutTorus(t *testing.T) {
+	cfg := SnoopConfig()
+	cfg.NumNodes = 8 // no longer matches the default 4x4 torus
+	sys, err := New(cfg, "stress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Start()
+	sys.Run(150_000)
+	if got := len(sys.Snoop().Nodes()); got != 8 {
+		t.Fatalf("nodes = %d, want 8", got)
+	}
+	if sys.Result().Instrs == 0 {
+		t.Fatal("no progress")
+	}
+}
+
+func TestProtocolValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Protocol = "token-coherence"
+	if _, err := New(cfg, "oltp"); err == nil {
+		t.Fatal("unknown protocol must error")
+	}
+	cfg = SnoopConfig()
+	cfg.SafetyNetEnabled = false
+	if _, err := New(cfg, "oltp"); err == nil {
+		t.Fatal("unprotected snoop config must error")
+	}
+	if got := Protocols(); len(got) != 2 {
+		t.Fatalf("Protocols() = %v", got)
+	}
+}
+
+// TestDirectoryBackendUnchanged: the default protocol still selects the
+// directory machine and exposes it for white-box use.
+func TestDirectoryBackendUnchanged(t *testing.T) {
+	sys, err := New(DefaultConfig(), "barnes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Machine() == nil || sys.Snoop() != nil {
+		t.Fatal("directory backend not selected")
+	}
+	if got := sys.Result().Protocol; got != ProtocolDirectory {
+		t.Fatalf("Protocol = %q", got)
 	}
 }
 
