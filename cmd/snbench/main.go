@@ -7,6 +7,7 @@
 //	snbench -exp fig6                # one experiment
 //	snbench -exp fig6 -format json   # structured output
 //	snbench -j 8                     # fan runs across 8 workers
+//	snbench -scenario run.json       # run one declarative scenario file
 //	snbench -quick -cpuprofile cpu.prof -memprofile mem.prof
 //	                                 # profile the simulator's hot paths
 package main
@@ -32,6 +33,7 @@ func main() {
 func run() int {
 	var (
 		exp        = flag.String("exp", "all", "experiment name (see -list), or all")
+		scenFile   = flag.String("scenario", "", "run one declarative scenario file and print its result")
 		list       = flag.Bool("list", false, "list registered experiments and exit")
 		quick      = flag.Bool("quick", false, "single-run, short-window sizing")
 		runs       = flag.Int("runs", 0, "override the number of perturbed runs per point")
@@ -83,6 +85,10 @@ func run() int {
 	default:
 		fmt.Fprintf(os.Stderr, "snbench: unknown format %q (have text, json, csv)\n", *format)
 		return 1
+	}
+
+	if *scenFile != "" {
+		return runScenario(*scenFile, *format)
 	}
 
 	cfg := safetynet.DefaultConfig()
@@ -148,6 +154,49 @@ func run() int {
 			return 1
 		}
 		fmt.Println(string(out))
+	}
+	return 0
+}
+
+// runScenario executes one declarative scenario file and prints its
+// Result (text summary or JSON). Scenario expectations, when present,
+// are enforced.
+func runScenario(path, format string) int {
+	if format == "csv" {
+		fmt.Fprintln(os.Stderr, "snbench: -scenario supports text and json output")
+		return 1
+	}
+	sc, err := safetynet.LoadScenario(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "snbench: %v\n", err)
+		return 1
+	}
+	start := time.Now()
+	res, err := sc.Run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "snbench: %v\n", err)
+		return 1
+	}
+	if format == "json" {
+		out, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "snbench: %v\n", err)
+			return 1
+		}
+		fmt.Println(string(out))
+	} else {
+		name := sc.Name
+		if name == "" {
+			name = path
+		}
+		fmt.Printf("scenario %s: workload %s on the %s backend\n", name, res.Workload, res.Protocol)
+		fmt.Printf("  cycles %d, instrs %d, IPC %.3f, recoveries %d, crashed %v\n",
+			res.Cycles, res.Instrs, res.IPC, res.Recoveries, res.Crashed)
+		fmt.Printf("[completed in %v]\n", time.Since(start).Round(time.Millisecond))
+	}
+	if err := sc.Check(res); err != nil {
+		fmt.Fprintln(os.Stderr, "snbench: scenario expectation failed:", err)
+		return 1
 	}
 	return 0
 }

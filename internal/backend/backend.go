@@ -42,6 +42,80 @@ type Counters struct {
 	MessagesDropped uint64
 }
 
+// Observer receives backend-neutral run events. Every field is optional:
+// nil callbacks are skipped, so the zero value observes nothing. The same
+// observer works on both backends; cycle is the simulation time of the
+// event and ckpt a checkpoint number. Callbacks run synchronously inside
+// the simulation, so they must not mutate the system.
+type Observer struct {
+	// CheckpointAdvanced fires when the system recovery point moves
+	// forward to ckpt (a checkpoint validated).
+	CheckpointAdvanced func(cycle uint64, ckpt uint32)
+	// RecoveryStarted fires when a system recovery begins; cause names
+	// the detection event.
+	RecoveryStarted func(cycle uint64, cause string)
+	// RecoveryCompleted fires at the restart broadcast: every node has
+	// rolled back to ckpt. latency is the coordination cost in cycles,
+	// excluding re-execution of lost work.
+	RecoveryCompleted func(cycle uint64, ckpt uint32, latency uint64)
+	// FaultFired fires when an armed fault event actually triggers; kind
+	// is the event's stable kind tag (fault.KindDropOnce, ...). Periodic
+	// events fire once per triggering.
+	FaultFired func(cycle uint64, kind string)
+	// Crashed fires when an unprotected system dies.
+	Crashed func(cycle uint64, cause string)
+}
+
+// Observers is the fan-out list a backend notifies. The helper methods
+// tolerate nil lists, nil observers, and nil callbacks so backend hot
+// paths can notify unconditionally.
+type Observers []*Observer
+
+// CheckpointAdvanced notifies every observer of a recovery-point advance.
+func (os Observers) CheckpointAdvanced(cycle uint64, ckpt uint32) {
+	for _, o := range os {
+		if o != nil && o.CheckpointAdvanced != nil {
+			o.CheckpointAdvanced(cycle, ckpt)
+		}
+	}
+}
+
+// RecoveryStarted notifies every observer a recovery began.
+func (os Observers) RecoveryStarted(cycle uint64, cause string) {
+	for _, o := range os {
+		if o != nil && o.RecoveryStarted != nil {
+			o.RecoveryStarted(cycle, cause)
+		}
+	}
+}
+
+// RecoveryCompleted notifies every observer a recovery finished.
+func (os Observers) RecoveryCompleted(cycle uint64, ckpt uint32, latency uint64) {
+	for _, o := range os {
+		if o != nil && o.RecoveryCompleted != nil {
+			o.RecoveryCompleted(cycle, ckpt, latency)
+		}
+	}
+}
+
+// FaultFired notifies every observer an armed fault triggered.
+func (os Observers) FaultFired(cycle uint64, kind string) {
+	for _, o := range os {
+		if o != nil && o.FaultFired != nil {
+			o.FaultFired(cycle, kind)
+		}
+	}
+}
+
+// Crashed notifies every observer the system died.
+func (os Observers) Crashed(cycle uint64, cause string) {
+	for _, o := range os {
+		if o != nil && o.Crashed != nil {
+			o.Crashed(cycle, cause)
+		}
+	}
+}
+
 // Backend is one simulated SafetyNet target system.
 type Backend interface {
 	// Start launches the processors (and any checkpoint machinery).
@@ -72,4 +146,7 @@ type Backend interface {
 	// FaultTarget returns the slice of this system fault events arm on;
 	// events the backend cannot express fail with fault.ErrUnsupported.
 	FaultTarget() fault.Target
+	// Observe registers a run observer. Call before Start; observers
+	// fire synchronously as the run produces events.
+	Observe(*Observer)
 }

@@ -211,6 +211,29 @@ func (p Params) ProtocolName() string {
 	return p.Protocol
 }
 
+// Normalize clamps dependent SafetyNet parameters into the consistent
+// region Validate demands, returning the adjusted copy. It encodes the
+// cross-parameter rules that every front end (CLI flags, scenario files,
+// programmatic configs) would otherwise re-implement: the validation
+// signoff cannot exceed the checkpoint interval it is expressed against,
+// and the validation watchdog must strictly exceed the interval or it
+// would fire on healthy steady state. safetynet.New applies it, so a
+// front end adjusting CheckpointIntervalCycles alone cannot assemble an
+// inconsistent configuration. Normalize never repairs outright-invalid
+// parameters (zero interval, bad geometry): those still fail Validate.
+func (p Params) Normalize() Params {
+	if !p.SafetyNetEnabled || p.CheckpointIntervalCycles == 0 {
+		return p
+	}
+	if p.ValidationSignoffCycles > p.CheckpointIntervalCycles {
+		p.ValidationSignoffCycles = p.CheckpointIntervalCycles
+	}
+	if p.ValidationWatchdogCycles <= p.CheckpointIntervalCycles {
+		p.ValidationWatchdogCycles = 6 * p.CheckpointIntervalCycles
+	}
+	return p
+}
+
 // L1Sets returns the number of L1 sets.
 func (p Params) L1Sets() int { return p.L1Bytes / (p.BlockBytes * p.L1Ways) }
 

@@ -115,3 +115,50 @@ func TestSkewBoundOnlyEnforcedWhenProtected(t *testing.T) {
 		t.Fatalf("SafetyNet knobs must not be validated when disabled: %v", err)
 	}
 }
+
+func TestNormalizeClampsSignoff(t *testing.T) {
+	p := Default()
+	p.CheckpointIntervalCycles = 25_000 // below the default 100k signoff
+	if err := p.Validate(); err == nil {
+		t.Fatal("precondition: the raw config should be inconsistent")
+	}
+	n := p.Normalize()
+	if n.ValidationSignoffCycles != 25_000 {
+		t.Fatalf("signoff = %d, want clamped to the 25k interval", n.ValidationSignoffCycles)
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatalf("normalized config invalid: %v", err)
+	}
+}
+
+func TestNormalizeRaisesWatchdogFloor(t *testing.T) {
+	p := Default()
+	p.CheckpointIntervalCycles = 1_000_000 // above the default 600k watchdog
+	n := p.Normalize()
+	if want := uint64(6_000_000); n.ValidationWatchdogCycles != want {
+		t.Fatalf("watchdog = %d, want %d", n.ValidationWatchdogCycles, want)
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatalf("normalized config invalid: %v", err)
+	}
+}
+
+func TestNormalizeLeavesConsistentConfigsAlone(t *testing.T) {
+	for _, p := range []Params{Default(), Unprotected()} {
+		if n := p.Normalize(); n != p {
+			t.Fatalf("Normalize changed a consistent config:\n got %+v\nwant %+v", n, p)
+		}
+	}
+}
+
+func TestNormalizeDoesNotRepairInvalidConfigs(t *testing.T) {
+	p := Default()
+	p.CheckpointIntervalCycles = 0
+	n := p.Normalize()
+	if n.CheckpointIntervalCycles != 0 {
+		t.Fatal("Normalize must not invent a checkpoint interval")
+	}
+	if err := n.Validate(); err == nil {
+		t.Fatal("zero interval must still fail validation")
+	}
+}

@@ -21,8 +21,10 @@ type RecoveryRecord struct {
 // of lost work.
 func (r RecoveryRecord) Duration() sim.Time { return r.Restarted - r.Detected }
 
-// Hooks are the machine-level actions a service controller drives. All are
-// required.
+// Hooks are the machine-level actions a service controller drives.
+// Quiesce and Unquiesce are required; the notification hooks are
+// optional (nil skips them) and fire only from the active controller, so
+// redundant controllers sharing one Hooks value report each event once.
 type Hooks struct {
 	// Quiesce runs when recovery begins: discard in-flight coherence
 	// traffic (drain the interconnect) and suppress checkpoint creation.
@@ -30,6 +32,13 @@ type Hooks struct {
 	// Unquiesce runs just before the restart broadcast: coherence
 	// traffic may flow again.
 	Unquiesce func()
+	// Advanced, if set, runs after each recovery-point broadcast.
+	Advanced func(cn msg.CN)
+	// RecoveryStarted, if set, runs when a recovery begins.
+	RecoveryStarted func(cause string)
+	// RecoveryCompleted, if set, runs at the restart broadcast with the
+	// completed recovery's record.
+	RecoveryCompleted func(rec RecoveryRecord)
 }
 
 // Controller is one of the paper's redundant system service controllers
@@ -162,6 +171,9 @@ func (c *Controller) TriggerRecovery(cause string) {
 	for i := range c.recoverDone {
 		c.recoverDone[i] = false
 	}
+	if c.hooks.RecoveryStarted != nil {
+		c.hooks.RecoveryStarted(cause)
+	}
 	// Drain the interconnect and stop checkpoint creation, then order
 	// every node to the recovery point (paper §3.6).
 	c.hooks.Quiesce()
@@ -188,6 +200,9 @@ func (c *Controller) handleRecoverDone(node int) {
 	c.lastAdvance = c.eng.Now()
 	c.pendingRec.Restarted = c.eng.Now()
 	c.recoveries = append(c.recoveries, c.pendingRec)
+	if c.hooks.RecoveryCompleted != nil {
+		c.hooks.RecoveryCompleted(c.pendingRec)
+	}
 	c.broadcast(msg.Restart, c.rpcn)
 }
 
@@ -211,6 +226,9 @@ func (c *Controller) tryAdvance() {
 	c.validations++
 	c.lastAdvance = c.eng.Now()
 	c.broadcast(msg.RPCNBcast, c.rpcn)
+	if c.hooks.Advanced != nil {
+		c.hooks.Advanced(c.rpcn)
+	}
 }
 
 func (c *Controller) broadcast(t msg.Type, cn msg.CN) {

@@ -1,0 +1,153 @@
+package fault
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"safetynet/internal/topology"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files from the current encoding")
+
+// goldenPlan is one plan exercising every event kind; its encoding is
+// pinned by testdata/plan.golden.json.
+func goldenPlan() Plan {
+	return Plan{
+		DropOnce{At: 1_000_000},
+		DropEvery{Start: 500_000, Period: 250_000},
+		CorruptOnce{At: 750_000},
+		MisrouteOnce{At: 800_000},
+		DuplicateOnce{At: 900_000},
+		KillSwitch{Node: 5, Axis: topology.EW, At: 1_300_000},
+		KillSwitch{Node: 0, Axis: topology.NS, At: 2_000_000},
+	}
+}
+
+func encodePlan(t *testing.T, p Plan) []byte {
+	t.Helper()
+	out, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(out, '\n')
+}
+
+// TestPlanGoldenEncoding pins the wire format: the kind tags and field
+// names are part of the scenario-file format and must never drift.
+func TestPlanGoldenEncoding(t *testing.T) {
+	path := filepath.Join("testdata", "plan.golden.json")
+	got := encodePlan(t, goldenPlan())
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("encoding drifted from golden file %s:\n got: %s\nwant: %s", path, got, want)
+	}
+
+	// Decoding the golden file reproduces the original plan.
+	var back Plan
+	if err := json.Unmarshal(want, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, goldenPlan()) {
+		t.Fatalf("golden decode = %#v, want %#v", back, goldenPlan())
+	}
+}
+
+// TestPlanRoundTripFixedPoint: decode→encode→decode is a fixed point.
+func TestPlanRoundTripFixedPoint(t *testing.T) {
+	enc1 := encodePlan(t, goldenPlan())
+	var p2 Plan
+	if err := json.Unmarshal(enc1, &p2); err != nil {
+		t.Fatal(err)
+	}
+	enc2 := encodePlan(t, p2)
+	if !bytes.Equal(enc1, enc2) {
+		t.Fatalf("re-encoding drifted:\n1st: %s\n2nd: %s", enc1, enc2)
+	}
+}
+
+func TestEmptyPlanEncodesAsEmptyArray(t *testing.T) {
+	out, err := json.Marshal(Plan(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "[]" {
+		t.Fatalf("nil plan = %s, want []", out)
+	}
+	var p Plan
+	if err := json.Unmarshal([]byte("[]"), &p); err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 0 {
+		t.Fatalf("decoded %d events from []", len(p))
+	}
+}
+
+// TestUnknownKindTypedError: an unknown "kind" fails with the typed
+// error, found through errors.As even when wrapped with plan context.
+func TestUnknownKindTypedError(t *testing.T) {
+	var p Plan
+	err := json.Unmarshal([]byte(`[{"kind": "meteor-strike", "at": 5}]`), &p)
+	if err == nil {
+		t.Fatal("unknown kind must fail")
+	}
+	var uk *UnknownKindError
+	if !errors.As(err, &uk) {
+		t.Fatalf("err = %v (%T), want *UnknownKindError", err, err)
+	}
+	if uk.Kind != "meteor-strike" {
+		t.Fatalf("Kind = %q", uk.Kind)
+	}
+	if !strings.Contains(err.Error(), "event 0") {
+		t.Fatalf("error lost plan position: %v", err)
+	}
+}
+
+// TestStrictEventDecoding: stray fields and malformed axes are rejected,
+// so an encoded plan cannot silently lose information.
+func TestStrictEventDecoding(t *testing.T) {
+	cases := []string{
+		`[{"kind": "drop-once", "at": 5, "period": 9}]`,      // stray field
+		`[{"kind": "kill-switch", "node": 1, "axis": "up"}]`, // bad axis
+		`[{"kind": "drop-every", "start": "soon"}]`,          // wrong type
+	}
+	for _, c := range cases {
+		var p Plan
+		if err := json.Unmarshal([]byte(c), &p); err == nil {
+			t.Errorf("decode %s succeeded, want error", c)
+		}
+	}
+}
+
+func TestEveryKindRoundTrips(t *testing.T) {
+	if got, want := len(Kinds()), 6; got != want {
+		t.Fatalf("Kinds() lists %d kinds, want %d", got, want)
+	}
+	for _, ev := range goldenPlan() {
+		enc, err := MarshalEvent(ev)
+		if err != nil {
+			t.Fatalf("%v: %v", ev, err)
+		}
+		back, err := UnmarshalEvent(enc)
+		if err != nil {
+			t.Fatalf("%v: %v", ev, err)
+		}
+		if back != ev {
+			t.Fatalf("round trip %v -> %s -> %v", ev, enc, back)
+		}
+	}
+}

@@ -108,14 +108,13 @@ func (r *DetectResult) Report() *Report {
 func (r *DetectResult) Render() string { return r.Report().Render() }
 
 func init() {
-	Register(Experiment{
-		Name:        "detect",
-		Title:       "Detection-latency tolerance",
-		Description: "recovery behavior and throughput as fault-detection latency grows (§3.4)",
-		Order:       6,
-		Grid:        detectGrid,
-		Reduce: func(base config.Params, _ Options, pts []Point, res []RunResult) *Report {
+	NewExperiment("detect",
+		"Detection-latency tolerance",
+		"recovery behavior and throughput as fault-detection latency grows (§3.4)").
+		Order(6).
+		Grid(detectGrid).
+		Reduce(func(base config.Params, _ Options, pts []Point, res []RunResult) *Report {
 			return detectFold(base, pts, res).Report()
-		},
-	})
+		}).
+		MustRegister()
 }

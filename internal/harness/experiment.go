@@ -100,19 +100,86 @@ var (
 	registry = map[string]Experiment{}
 )
 
-// Register adds an experiment to the package registry. Registering a
-// duplicate name panics (programming error: two files claimed one
-// figure).
-func Register(e Experiment) {
+// register adds an experiment to the package registry, reporting invalid
+// descriptors and duplicate names.
+func register(e Experiment) error {
 	regMu.Lock()
 	defer regMu.Unlock()
 	if e.Name == "" || e.Reduce == nil {
-		panic("harness: experiment needs a name and a reduce step")
+		return fmt.Errorf("harness: experiment needs a name and a reduce step")
 	}
 	if _, dup := registry[e.Name]; dup {
-		panic(fmt.Sprintf("harness: duplicate experiment %q", e.Name))
+		return fmt.Errorf("harness: duplicate experiment %q", e.Name)
 	}
 	registry[e.Name] = e
+	return nil
+}
+
+// Register adds an experiment to the package registry. Registering a
+// duplicate name panics (programming error: two files claimed one
+// figure); external packages should prefer the builder's error-returning
+// Register.
+func Register(e Experiment) {
+	if err := register(e); err != nil {
+		panic(err)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------
+
+// Builder assembles one experiment for registration. It is the single
+// definition path — every built-in table and figure registers through it,
+// and the facade re-exports it (safetynet.NewExperiment) so external
+// packages define experiments the same way:
+//
+//	harness.NewExperiment("myexp", "My Experiment", "what it measures").
+//		Order(100).
+//		Grid(func(base config.Params, o Options) []Point { ... }).
+//		Reduce(func(base config.Params, o Options, pts []Point, res []RunResult) *Report { ... }).
+//		Register()
+type Builder struct {
+	e Experiment
+}
+
+// NewExperiment starts building an experiment with the given registry
+// key, human-readable title, and one-line description.
+func NewExperiment(name, title, description string) *Builder {
+	return &Builder{e: Experiment{Name: name, Title: title, Description: description, Order: 1 << 20}}
+}
+
+// Order sets the catalog position (paper order); unset experiments list
+// after every ordered one.
+func (b *Builder) Order(n int) *Builder {
+	b.e.Order = n
+	return b
+}
+
+// Grid sets the design-point expansion. Experiments without a grid run
+// no simulations (their Reduce renders static content, like table2).
+func (b *Builder) Grid(g func(base config.Params, o Options) []Point) *Builder {
+	b.e.Grid = g
+	return b
+}
+
+// Reduce sets the fold from grid results to the structured report.
+// Required.
+func (b *Builder) Reduce(r func(base config.Params, o Options, pts []Point, res []RunResult) *Report) *Builder {
+	b.e.Reduce = r
+	return b
+}
+
+// Register adds the experiment to the registry, reporting an incomplete
+// descriptor or a duplicate name as an error.
+func (b *Builder) Register() error { return register(b.e) }
+
+// MustRegister registers and panics on error; the built-in experiments
+// use it from init, where a failure is a programming error.
+func (b *Builder) MustRegister() {
+	if err := b.Register(); err != nil {
+		panic(err)
+	}
 }
 
 // Get returns the named experiment.

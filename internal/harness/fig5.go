@@ -193,14 +193,13 @@ func (r *Fig5Result) Report() *Report {
 func (r *Fig5Result) Render() string { return r.Report().Render() }
 
 func init() {
-	Register(Experiment{
-		Name:        "fig5",
-		Title:       "Figure 5: Performance Evaluation of SafetyNet",
-		Description: "normalized performance of Experiments 1-3 across the five paper workloads",
-		Order:       1,
-		Grid:        fig5Grid,
-		Reduce: func(_ config.Params, o Options, pts []Point, res []RunResult) *Report {
+	NewExperiment("fig5",
+		"Figure 5: Performance Evaluation of SafetyNet",
+		"normalized performance of Experiments 1-3 across the five paper workloads").
+		Order(1).
+		Grid(fig5Grid).
+		Reduce(func(_ config.Params, o Options, pts []Point, res []RunResult) *Report {
 			return fig5Fold(o, pts, res).Report()
-		},
-	})
+		}).
+		MustRegister()
 }

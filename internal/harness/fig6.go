@@ -130,14 +130,13 @@ func (r *Fig6Result) Report() *Report {
 func (r *Fig6Result) Render() string { return r.Report().Render() }
 
 func init() {
-	Register(Experiment{
-		Name:        "fig6",
-		Title:       "Figure 6: Frequencies of Stores and Coherence Requests",
-		Description: "store/coherence event rates and their logged subsets vs checkpoint interval",
-		Order:       2,
-		Grid:        fig6Grid,
-		Reduce: func(_ config.Params, _ Options, pts []Point, res []RunResult) *Report {
+	NewExperiment("fig6",
+		"Figure 6: Frequencies of Stores and Coherence Requests",
+		"store/coherence event rates and their logged subsets vs checkpoint interval").
+		Order(2).
+		Grid(fig6Grid).
+		Reduce(func(_ config.Params, _ Options, pts []Point, res []RunResult) *Report {
 			return fig6Fold(pts, res).Report()
-		},
-	})
+		}).
+		MustRegister()
 }

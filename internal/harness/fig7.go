@@ -81,14 +81,13 @@ func (r *Fig7Result) Report() *Report {
 func (r *Fig7Result) Render() string { return r.Report().Render() }
 
 func init() {
-	Register(Experiment{
-		Name:        "fig7",
-		Title:       "Figure 7: Cache Bandwidth vs Checkpoint Interval",
-		Description: "cache-port occupancy split across hits, fills, coherence, and logging",
-		Order:       3,
-		Grid:        fig7Grid,
-		Reduce: func(_ config.Params, _ Options, pts []Point, res []RunResult) *Report {
+	NewExperiment("fig7",
+		"Figure 7: Cache Bandwidth vs Checkpoint Interval",
+		"cache-port occupancy split across hits, fills, coherence, and logging").
+		Order(3).
+		Grid(fig7Grid).
+		Reduce(func(_ config.Params, _ Options, pts []Point, res []RunResult) *Report {
 			return fig7Fold(pts, res).Report()
-		},
-	})
+		}).
+		MustRegister()
 }

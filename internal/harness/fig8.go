@@ -119,14 +119,13 @@ func (r *Fig8Result) Report() *Report {
 func (r *Fig8Result) Render() string { return r.Report().Render() }
 
 func init() {
-	Register(Experiment{
-		Name:        "fig8",
-		Title:       "Figure 8: Performance vs CLB Size",
-		Description: "performance degradation from CLB back-pressure as buffer capacity shrinks",
-		Order:       4,
-		Grid:        fig8Grid,
-		Reduce: func(_ config.Params, _ Options, pts []Point, res []RunResult) *Report {
+	NewExperiment("fig8",
+		"Figure 8: Performance vs CLB Size",
+		"performance degradation from CLB back-pressure as buffer capacity shrinks").
+		Order(4).
+		Grid(fig8Grid).
+		Reduce(func(_ config.Params, _ Options, pts []Point, res []RunResult) *Report {
 			return fig8Fold(pts, res).Report()
-		},
-	})
+		}).
+		MustRegister()
 }

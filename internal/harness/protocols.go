@@ -97,14 +97,13 @@ func Protocols(base config.Params, o Options) *Report {
 }
 
 func init() {
-	Register(Experiment{
-		Name:        "protocols",
-		Title:       "Two protocols, one harness",
-		Description: "side-by-side directory vs snooping IPC and logging overhead across the five paper workloads",
-		Order:       8,
-		Grid:        protocolsGrid,
-		Reduce: func(_ config.Params, _ Options, pts []Point, res []RunResult) *Report {
+	NewExperiment("protocols",
+		"Two protocols, one harness",
+		"side-by-side directory vs snooping IPC and logging overhead across the five paper workloads").
+		Order(8).
+		Grid(protocolsGrid).
+		Reduce(func(_ config.Params, _ Options, pts []Point, res []RunResult) *Report {
 			return protocolsReduce(pts, res)
-		},
-	})
+		}).
+		MustRegister()
 }

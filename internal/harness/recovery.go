@@ -95,14 +95,13 @@ func (r *RecoveryResult) Report() *Report {
 func (r *RecoveryResult) Render() string { return r.Report().Render() }
 
 func init() {
-	Register(Experiment{
-		Name:        "recovery",
-		Title:       "Recovery latency",
-		Description: "recovery coordination latency and lost work under periodic transient faults (§4.2)",
-		Order:       5,
-		Grid:        recoveryGrid,
-		Reduce: func(_ config.Params, _ Options, pts []Point, res []RunResult) *Report {
+	NewExperiment("recovery",
+		"Recovery latency",
+		"recovery coordination latency and lost work under periodic transient faults (§4.2)").
+		Order(5).
+		Grid(recoveryGrid).
+		Reduce(func(_ config.Params, _ Options, pts []Point, res []RunResult) *Report {
 			return recoveryFold(pts, res).Report()
-		},
-	})
+		}).
+		MustRegister()
 }

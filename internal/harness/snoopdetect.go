@@ -85,14 +85,13 @@ func SnoopDetect(base config.Params, o Options) *Report {
 }
 
 func init() {
-	Register(Experiment{
-		Name:        "snoopdetect",
-		Title:       "Detection latency on the snooping backend",
-		Description: "detection/recovery latency sweep on the ordered snooping interconnect (fn. 1, §2.3)",
-		Order:       7,
-		Grid:        snoopDetectGrid,
-		Reduce: func(_ config.Params, _ Options, pts []Point, res []RunResult) *Report {
+	NewExperiment("snoopdetect",
+		"Detection latency on the snooping backend",
+		"detection/recovery latency sweep on the ordered snooping interconnect (fn. 1, §2.3)").
+		Order(7).
+		Grid(snoopDetectGrid).
+		Reduce(func(_ config.Params, _ Options, pts []Point, res []RunResult) *Report {
 			return snoopDetectReduce(pts, res)
-		},
-	})
+		}).
+		MustRegister()
 }

@@ -47,13 +47,12 @@ func estimateTwoHopMiss(p config.Params) uint64 {
 }
 
 func init() {
-	Register(Experiment{
-		Name:        "table2",
-		Title:       "Table 2: Target System Parameters",
-		Description: "the simulated target-system parameters (no simulation runs)",
-		Order:       0,
-		Reduce: func(base config.Params, _ Options, _ []Point, _ []RunResult) *Report {
+	NewExperiment("table2",
+		"Table 2: Target System Parameters",
+		"the simulated target-system parameters (no simulation runs)").
+		Order(0).
+		Reduce(func(base config.Params, _ Options, _ []Point, _ []RunResult) *Report {
 			return Table2Report(base)
-		},
-	})
+		}).
+		MustRegister()
 }

@@ -25,6 +25,9 @@ func (m *Machine) FaultTarget() fault.Target {
 	return fault.Target{Net: m.Net, Topo: m.Topo}
 }
 
+// Observe registers a backend-neutral run observer.
+func (m *Machine) Observe(o *backend.Observer) { m.obs = append(m.obs, o) }
+
 // Counters returns the cumulative protocol-neutral statistics.
 func (m *Machine) Counters() backend.Counters {
 	ns := m.Net.Stats()

@@ -10,6 +10,7 @@ package machine
 import (
 	"fmt"
 
+	"safetynet/internal/backend"
 	"safetynet/internal/config"
 	"safetynet/internal/core"
 	"safetynet/internal/iodev"
@@ -78,6 +79,9 @@ type Machine struct {
 	// use it to observe the exact recovery-point state before
 	// re-execution moves the system forward again.
 	AfterRecovery func()
+
+	// obs holds the registered backend-neutral run observers.
+	obs backend.Observers
 }
 
 // New builds a machine running the given workload profile on every
@@ -93,6 +97,9 @@ func New(p config.Params, profile workload.Profile) *Machine {
 		home: protocol.InterleavedHome(p.BlockBytes, p.NumNodes),
 	}
 	m.Net = network.New(m.Eng, m.Topo, p)
+	m.Net.OnInjectedFault(func(kind string) {
+		m.obs.FaultFired(uint64(m.Eng.Now()), kind)
+	})
 
 	for n := 0; n < p.NumNodes; n++ {
 		node := &Node{ID: n, m: m, rpcn: 1, lastReady: 1}
@@ -112,7 +119,20 @@ func New(p config.Params, profile workload.Profile) *Machine {
 
 	if p.SafetyNetEnabled {
 		m.svcHomes = [2]int{0, p.NumNodes / 2}
-		hooks := core.Hooks{Quiesce: m.quiesce, Unquiesce: m.unquiesce}
+		hooks := core.Hooks{
+			Quiesce:   m.quiesce,
+			Unquiesce: m.unquiesce,
+			Advanced: func(cn msg.CN) {
+				m.obs.CheckpointAdvanced(uint64(m.Eng.Now()), uint32(cn))
+			},
+			RecoveryStarted: func(cause string) {
+				m.obs.RecoveryStarted(uint64(m.Eng.Now()), cause)
+			},
+			RecoveryCompleted: func(rec core.RecoveryRecord) {
+				m.obs.RecoveryCompleted(uint64(m.Eng.Now()),
+					uint32(rec.RecoveryPoint), uint64(rec.Duration()))
+			},
+		}
 		for i, home := range m.svcHomes {
 			home := home
 			m.Svc[i] = core.NewController(m.Eng, home, p.NumNodes,
@@ -226,6 +246,7 @@ func (m *Machine) crash(cause string) {
 	m.Crashed = true
 	m.CrashCause = cause
 	m.CrashTime = m.Eng.Now()
+	m.obs.Crashed(uint64(m.CrashTime), cause)
 	m.Eng.Stop()
 }
 

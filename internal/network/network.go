@@ -84,6 +84,7 @@ type Network struct {
 
 	dropRules []func(*msg.Message) bool
 	onDrop    func(*msg.Message, DropReason)
+	onFault   func(kind string)
 
 	stats Stats
 }
@@ -167,6 +168,18 @@ func (nw *Network) SetRecovering(r bool) { nw.recovering = r }
 // statistics are updated. Useful for tests and fault logging.
 func (nw *Network) OnDrop(f func(*msg.Message, DropReason)) { nw.onDrop = f }
 
+// OnInjectedFault installs a callback invoked each time an armed fault
+// event actually triggers, with the event's stable kind tag (the strings
+// match the fault package's kind constants).
+func (nw *Network) OnInjectedFault(f func(kind string)) { nw.onFault = f }
+
+// noteFault reports an armed fault triggering.
+func (nw *Network) noteFault(kind string) {
+	if nw.onFault != nil {
+		nw.onFault(kind)
+	}
+}
+
 // AddDropRule installs a predicate consulted at injection; returning true
 // silently drops the message (a transient interconnect fault). Rules are
 // responsible for their own arming/disarming state.
@@ -190,6 +203,7 @@ func (nw *Network) InjectDropEvery(start, period sim.Time) func() {
 			return false // drop a data response: the highest-impact loss
 		}
 		next = nw.eng.Now() + period
+		nw.noteFault("drop-every")
 		return true
 	})
 	return func() { armed = false }
@@ -209,6 +223,7 @@ func (nw *Network) InjectCorruptOnce(at sim.Time) {
 		m.Corrupted = true
 		m.Data ^= 0xdeadbeef // the damage an ECC-less endpoint would consume
 		nw.stats.Corrupted++
+		nw.noteFault("corrupt-once")
 		return false // delivered, not dropped
 	})
 }
@@ -227,6 +242,7 @@ func (nw *Network) InjectMisrouteOnce(at sim.Time) {
 		fired = true
 		m.Dst = (m.Dst + 1) % len(nw.handlers)
 		nw.stats.Misrouted++
+		nw.noteFault("misroute-once")
 		return false // delivered — to the wrong place
 	})
 }
@@ -243,6 +259,7 @@ func (nw *Network) InjectDuplicateOnce(at sim.Time) {
 		}
 		fired = true
 		nw.stats.Duplicated++
+		nw.noteFault("duplicate-once")
 		dup := msg.Alloc()
 		*dup = *m
 		// Re-inject the duplicate after this send completes; drop rules
@@ -260,6 +277,7 @@ func (nw *Network) InjectDropOnce(at sim.Time) {
 			return false
 		}
 		fired = true
+		nw.noteFault("drop-once")
 		return true
 	})
 }
@@ -269,7 +287,10 @@ func (nw *Network) InjectDropOnce(at sim.Time) {
 // in-flight message that reaches s afterwards is dropped) and forcing
 // routes computed later to detour around it.
 func (nw *Network) KillSwitchAt(s topology.SwitchID, at sim.Time) {
-	nw.eng.Schedule(at, func() { nw.topo.Kill(s) })
+	nw.eng.Schedule(at, func() {
+		nw.topo.Kill(s)
+		nw.noteFault("kill-switch")
+	})
 }
 
 // Send injects m into the network. Delivery is scheduled through the

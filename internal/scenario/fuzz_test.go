@@ -1,0 +1,46 @@
+package scenario
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+// FuzzLoadScenario drives the scenario parser (the core of
+// safetynet.LoadScenario) with the checked-in example scenarios as the
+// seed corpus. The property under test is the round-trip guarantee:
+// anything Parse accepts must Encode canonically, re-Parse, and reach a
+// fixed point — and Parse must never panic on arbitrary input.
+func FuzzLoadScenario(f *testing.F) {
+	for _, p := range exampleScenarioFiles(f) {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"workload": "oltp", "measure_cycles": 1000}`))
+	f.Add([]byte(`{"workload": "jbb", "measure_cycles": 5, "faults": [{"kind": "drop-once", "at": 1}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			return // invalid input is fine; panicking is not
+		}
+		enc, err := s.Encode()
+		if err != nil {
+			t.Fatalf("accepted scenario failed to encode: %v", err)
+		}
+		s2, err := Parse(enc)
+		if err != nil {
+			t.Fatalf("canonical encoding rejected: %v\n%s", err, enc)
+		}
+		enc2, err := s2.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("not a fixed point:\n1st: %s\n2nd: %s", enc, enc2)
+		}
+	})
+}

@@ -125,7 +125,13 @@ type System struct {
 	Recoveries int
 	// Validations counts recovery-point advances.
 	Validations uint64
+
+	// obs holds the registered backend-neutral run observers.
+	obs backend.Observers
 }
+
+// Observe registers a backend-neutral run observer.
+func (s *System) Observe(o *backend.Observer) { s.obs = append(s.obs, o) }
 
 // dataFaults holds the armed fault events of the unordered data network.
 // One-shot events fire on the first data message sent at or after their
@@ -253,12 +259,14 @@ func (s *System) sendData(from, to int, addr, data uint64, cn msg.CN, slot uint6
 	s.dataSent++
 	if takeOne(&f.dropOnce, now) {
 		s.dropped++
+		s.obs.FaultFired(uint64(now), fault.KindDropOnce)
 		return
 	}
 	for i := range f.dropEvery {
 		if p := &f.dropEvery[i]; now >= p.next {
 			p.next = now + p.period
 			s.dropped++
+			s.obs.FaultFired(uint64(now), fault.KindDropEvery)
 			return
 		}
 	}
@@ -270,6 +278,7 @@ func (s *System) sendData(from, to int, addr, data uint64, cn msg.CN, slot uint6
 		s.corrupted++
 		d.corrupt = true
 		d.data ^= 0xbad_c0de_bad_c0de
+		s.obs.FaultFired(uint64(now), fault.KindCorruptOnce)
 	}
 	s.eng.AfterArg(s.cfg.DataLatency, deliverDataArg, d)
 	if takeOne(&f.duplicateOnce, now) {
@@ -277,6 +286,7 @@ func (s *System) sendData(from, to int, addr, data uint64, cn msg.CN, slot uint6
 		*dup = *d
 		s.duplicated++
 		s.dataSent++
+		s.obs.FaultFired(uint64(now), fault.KindDuplicateOnce)
 		// The duplicate trails its original by one cycle; transaction
 		// matching at the endpoint must absorb it.
 		s.eng.AfterArg(s.cfg.DataLatency+1, deliverDataArg, dup)
@@ -388,6 +398,7 @@ func (s *System) tryValidate() {
 	s.rpcn = min
 	s.Validations++
 	s.lastAdvance = s.eng.Now()
+	s.obs.CheckpointAdvanced(uint64(s.lastAdvance), uint32(min))
 	for _, n := range s.nodes {
 		n.clb.DeallocateThrough(min)
 		n.memCLB.DeallocateThrough(min)
@@ -419,6 +430,8 @@ func (s *System) Recover() {
 	s.bus.BumpEpoch()
 	s.dataEpoch++
 	rpcn := s.rpcn
+	started := s.eng.Now()
+	s.obs.RecoveryStarted(uint64(started), "fault detected on the snooping substrate")
 	// Modeled drain + per-node unroll + restart barrier.
 	s.eng.After(2_000, func() {
 		for _, n := range s.nodes {
@@ -429,6 +442,8 @@ func (s *System) Recover() {
 			s.recovering = false
 			s.lastAdvance = s.eng.Now()
 			s.Recoveries++
+			s.obs.RecoveryCompleted(uint64(s.lastAdvance), uint32(rpcn),
+				uint64(s.lastAdvance-started))
 			if s.quiescing {
 				return // the quiesce in progress keeps the processors paused
 			}

@@ -29,13 +29,21 @@
 //	sys.Run(2_000_000)
 //	fmt.Println(sys.Summary())
 //
+// Runs are also first-class data: a Scenario bundles workload,
+// configuration overrides, warmup/measurement phases, and a typed fault
+// plan into one JSON-round-trippable value (LoadScenario, Scenario.Run),
+// and a backend-neutral RunObserver hooks checkpoint advances,
+// recoveries, fault firings, and crashes without white-box access.
+//
 // The experiment harness regenerating every table and figure of the
 // paper's evaluation is exposed through a registry: Experiments() lists
 // the catalog and RunExperiment runs one entry, optionally fanning its
 // independent simulations across a worker pool, and returns a structured
-// Report that renders as text and marshals to JSON or CSV. RunTable2,
-// RunFig5 ... RunDetect remain as thin wrappers; cmd/snbench drives the
-// registry.
+// Report that renders as text and marshals to JSON or CSV. The registry
+// is open — NewExperiment builds and registers experiments from any
+// package, and every built-in table and figure is defined through the
+// same builder. RunTable2, RunFig5 ... RunDetect remain as thin
+// wrappers; cmd/snbench drives the registry.
 package safetynet
 
 import (
@@ -102,8 +110,12 @@ type System struct {
 
 // New builds a system running the named workload preset on every
 // processor. Config.Protocol selects the backend: the MOSI directory
-// machine (default) or the broadcast snooping system.
+// machine (default) or the broadcast snooping system. Dependent
+// SafetyNet parameters are normalized first (config.Params.Normalize),
+// so front ends adjusting the checkpoint interval alone cannot assemble
+// an inconsistent signoff or watchdog.
 func New(cfg Config, workloadName string) (*System, error) {
+	cfg = cfg.Normalize()
 	prof, err := workload.ByName(workloadName)
 	if err != nil {
 		return nil, err
@@ -298,6 +310,18 @@ func (s *System) Summary() string {
 	return b.String()
 }
 
+// RunObserver receives backend-neutral run events — recovery-point
+// advances, recovery start/completion, armed faults firing, and crashes
+// of the unprotected baseline. Every callback is optional (nil fields are
+// skipped), the same observer works on both backends, and callbacks run
+// synchronously inside the simulation, so common instrumentation no
+// longer needs the white-box Machine()/Snoop() accessors.
+type RunObserver = backend.Observer
+
+// Observe registers a run observer. Call before Start; multiple
+// observers fire in registration order.
+func (s *System) Observe(o *RunObserver) { s.be.Observe(o) }
+
 // Machine exposes the underlying directory machine for white-box
 // inspection (used by the examples and the randomized checker). It is nil
 // when the snoop backend is selected; see Snoop.
@@ -326,6 +350,22 @@ func QuickOptions() ExperimentOptions { return harness.QuickOptions() }
 // paper-style text table; JSON and CSV marshal it losslessly.
 type Report = harness.Report
 
+// Row is one report row: label cells followed by numeric cells.
+type Row = harness.Row
+
+// Value is one numeric report cell: a mean with an error bar, or a
+// crash marker.
+type Value = harness.Value
+
+// BarSpec selects a report value column for the text bar chart.
+type BarSpec = harness.BarSpec
+
+// Scalar builds a single-observation report Value.
+func Scalar(v float64) Value { return harness.Scalar(v) }
+
+// CrashedValue marks a design point whose runs crashed.
+func CrashedValue() Value { return harness.CrashedValue() }
+
 // ExperimentInfo describes one registered experiment.
 type ExperimentInfo struct {
 	Name        string
@@ -348,6 +388,52 @@ func Experiments() []ExperimentInfo {
 // result. Unknown names report the valid ones.
 func RunExperiment(name string, cfg Config, o ExperimentOptions) (*Report, error) {
 	return harness.RunExperiment(name, cfg, o)
+}
+
+// ---------------------------------------------------------------------
+// Public experiment builder
+// ---------------------------------------------------------------------
+
+// Cycles is the simulation-time unit (1 cycle = 1 ns at the modeled
+// 1 GHz); experiment options and run windows are expressed in it.
+type Cycles = sim.Time
+
+// ExperimentPoint is one simulation of an experiment's design-point
+// grid: a labeled position along the experiment's dimensions plus the
+// concrete run it expands to.
+type ExperimentPoint = harness.Point
+
+// ExperimentRun is one concrete simulation: parameters, workload, the
+// warmup/measurement windows, and the fault plan armed before it starts.
+type ExperimentRun = harness.RunConfig
+
+// ExperimentRunResult carries everything a run measured; Reduce
+// functions fold a grid of these into a Report.
+type ExperimentRunResult = harness.RunResult
+
+// ExperimentBuilder assembles one experiment for registration; see
+// NewExperiment.
+type ExperimentBuilder = harness.Builder
+
+// NewExperiment starts building an experiment for the registry — the
+// same builder every built-in table and figure of the paper registers
+// through. An experiment declares a grid (expanding a base configuration
+// and options into labeled runs) and a reduce step (folding the grid's
+// results into a structured Report); Register adds it to the catalog
+// that Experiments lists and RunExperiment and cmd/snbench execute:
+//
+//	err := safetynet.NewExperiment("sweep", "My Sweep", "what it measures").
+//		Order(100).
+//		Grid(func(base safetynet.Config, o safetynet.ExperimentOptions) []safetynet.ExperimentPoint {
+//			...
+//		}).
+//		Reduce(func(base safetynet.Config, o safetynet.ExperimentOptions,
+//			pts []safetynet.ExperimentPoint, res []safetynet.ExperimentRunResult) *safetynet.Report {
+//			...
+//		}).
+//		Register()
+func NewExperiment(name, title, description string) *ExperimentBuilder {
+	return harness.NewExperiment(name, title, description)
 }
 
 // RunTable2 renders the target-system parameter table.

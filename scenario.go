@@ -1,0 +1,112 @@
+package safetynet
+
+import (
+	"safetynet/internal/scenario"
+)
+
+// Scenario is a declarative, JSON-round-trippable description of one
+// run: workload, configuration overrides over the paper's Table 2
+// defaults, warmup/measurement phases, a typed fault plan, and an
+// optional expected outcome. Scenarios are first-class data — check them
+// in, diff them, replay them — and execute on either coherence backend
+// (Overrides.Protocol selects it):
+//
+//	sc, err := safetynet.LoadScenario("examples/scenarios/dropped-message.json")
+//	res, err := sc.Run()
+//
+// The encoding round-trips losslessly: ParseScenario is strict (unknown
+// fields fail; an unknown fault kind fails with a typed
+// *fault.UnknownKindError) and Encode is canonical, so
+// decode→encode→decode is a fixed point.
+type Scenario scenario.Scenario
+
+// ScenarioOverrides deviates selected target-system parameters from the
+// defaults; every field mirrors the Config field of the same name, and
+// nil fields keep the default.
+type ScenarioOverrides = scenario.Overrides
+
+// ScenarioExpect states the outcome a scenario run must produce (crash
+// or survive, minimum recoveries); the scenario smoke tooling fails runs
+// that drift from it.
+type ScenarioExpect = scenario.Expect
+
+// LoadScenario reads, parses, and validates a scenario file.
+func LoadScenario(path string) (*Scenario, error) {
+	sc, err := scenario.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return (*Scenario)(sc), nil
+}
+
+// ParseScenario decodes and validates one scenario from JSON.
+func ParseScenario(data []byte) (*Scenario, error) {
+	sc, err := scenario.Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	return (*Scenario)(sc), nil
+}
+
+func (sc *Scenario) inner() *scenario.Scenario { return (*scenario.Scenario)(sc) }
+
+// Validate reports the first semantic error: a missing or unknown
+// workload, an empty measurement window, or an invalid configuration.
+func (sc *Scenario) Validate() error { return sc.inner().Validate() }
+
+// Params assembles the scenario's full configuration: defaults,
+// overrides applied, dependent parameters normalized, result validated.
+func (sc *Scenario) Params() (Config, error) { return sc.inner().Params() }
+
+// Encode renders the scenario in the canonical indented JSON form;
+// ParseScenario(Encode()) reproduces the scenario.
+func (sc *Scenario) Encode() ([]byte, error) { return sc.inner().Encode() }
+
+// TotalCycles is the scenario's full horizon: warmup plus measurement.
+func (sc *Scenario) TotalCycles() uint64 { return sc.inner().TotalCycles() }
+
+// ScaleTo proportionally shrinks the scenario — phases and fault
+// schedules alike — so its total horizon fits the budget, preserving the
+// scenario's shape. Scenarios already within budget are untouched.
+func (sc *Scenario) ScaleTo(budgetCycles uint64) { sc.inner().ScaleTo(budgetCycles) }
+
+// System builds the simulated system the scenario describes, with the
+// fault plan armed and ready to Start. A fault event the selected
+// backend cannot express fails with ErrFaultUnsupported.
+func (sc *Scenario) System() (*System, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	p, err := sc.Params()
+	if err != nil {
+		return nil, err
+	}
+	sys, err := New(p, sc.Workload)
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.Inject(sc.Faults...); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// Run executes the scenario on the backend its configuration selects:
+// build, arm the fault plan, start, and advance through the warmup and
+// measurement phases. It returns the run's cumulative Result — exactly
+// what the equivalent hand-wired New/Inject/Start/Run sequence produces.
+func (sc *Scenario) Run() (Result, error) {
+	sys, err := sc.System()
+	if err != nil {
+		return Result{}, err
+	}
+	sys.Start()
+	sys.Run(sc.TotalCycles())
+	return sys.Result(), nil
+}
+
+// Check compares a run's outcome against the scenario's expectations;
+// scenarios without an Expect block always pass.
+func (sc *Scenario) Check(r Result) error {
+	return sc.Expect.Check(r.Crashed, r.Recoveries)
+}
