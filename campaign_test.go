@@ -1,0 +1,88 @@
+package safetynet_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"safetynet"
+)
+
+// TestLoadCampaignExamples: every checked-in campaign file loads
+// through the facade, and the headline availability matrix expands to
+// the 100+ runs the README advertises.
+func TestLoadCampaignExamples(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("examples", "campaigns", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no checked-in campaign files found")
+	}
+	sawLarge := false
+	for _, p := range paths {
+		c, err := safetynet.LoadCampaign(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		runs, err := c.Expand()
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if len(runs) != c.Runs() {
+			t.Fatalf("%s: Expand returned %d runs, Runs() says %d", p, len(runs), c.Runs())
+		}
+		if len(runs) >= 100 {
+			sawLarge = true
+		}
+	}
+	if !sawLarge {
+		t.Fatal("no checked-in campaign expands to >= 100 runs")
+	}
+}
+
+// TestCampaignRunThroughFacade: a small in-code campaign executes end
+// to end through the facade, streams progress, fires the RunObserver
+// hooks, and reduces into a rendered report.
+func TestCampaignRunThroughFacade(t *testing.T) {
+	base := &safetynet.Scenario{Workload: "barnes", MeasureCycles: 400_000}
+	c := safetynet.NewCampaign(base)
+	c.Name = "facade-smoke"
+	c.Variants = []safetynet.CampaignVariant{
+		{Name: "fault-free"},
+		{Name: "dropped", Faults: safetynet.FaultPlan{safetynet.DropOnce(150_000)}},
+	}
+	c.Seeds = &safetynet.CampaignSeedRange{Start: 1, Count: 2}
+
+	var progress, faultsSeen int
+	rep, err := c.Run(safetynet.CampaignOptions{
+		Workers: 2,
+		OnResult: func(done, total int, run safetynet.CampaignRun, res safetynet.ExperimentRunResult) {
+			progress++
+			if total != 4 {
+				t.Errorf("total = %d, want 4", total)
+			}
+		},
+		Observer: func(run safetynet.CampaignRun) *safetynet.RunObserver {
+			return &safetynet.RunObserver{
+				FaultFired: func(cycle uint64, kind string) { faultsSeen++ },
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if progress != 4 || rep.Runs != 4 || rep.Crashes != 0 {
+		t.Fatalf("progress=%d report=%+v", progress, rep)
+	}
+	if faultsSeen != 2 {
+		t.Fatalf("observer saw %d fault firings, want 2 (one per dropped-variant run)", faultsSeen)
+	}
+	if len(rep.ExpectFailures) != 0 {
+		t.Fatalf("unexpected expectation failures: %v", rep.ExpectFailures)
+	}
+	out := rep.Render()
+	if !strings.Contains(out, "facade-smoke") || !strings.Contains(out, "by variant:") {
+		t.Fatalf("report rendering incomplete:\n%s", out)
+	}
+}

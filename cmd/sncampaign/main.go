@@ -1,0 +1,128 @@
+// Command sncampaign executes one declarative campaign file: a base
+// scenario expanded over a matrix of override axes, fault-plan
+// variants, and a seed range, executed on a sharded worker pool and
+// reduced into a statistical report (mean/median/percentiles, stddev,
+// bootstrap confidence intervals, per-axis breakdowns).
+//
+//	sncampaign examples/campaigns/availability-matrix.json
+//	sncampaign -j 8 -format json examples/campaigns/availability-matrix.json
+//	sncampaign -expand examples/campaigns/availability-matrix.json   # list runs, no simulation
+//	sncampaign -short -v examples/campaigns/availability-matrix.json # scaled, with progress
+//	sncampaign -events examples/campaigns/interval-sweep.json        # narrate run events
+//
+// The report goes to stdout; progress and event narration go to
+// stderr, so a report is byte-identical at any -j (pipe stdout to
+// diff to check). Exit status: 0 on success, 1 on a usage or load
+// error or when any run's declared expectation goes unmet.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"safetynet"
+)
+
+// shortBudgetCycles is the per-run horizon -short scales a campaign
+// to, matching snsim -short so the CI smoke jobs size both the same
+// way.
+const shortBudgetCycles = 1_600_000
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		par     = flag.Int("j", 0, "runs executed in parallel (0 = one per CPU)")
+		format  = flag.String("format", "text", "report format: text, json, csv")
+		short   = flag.Bool("short", false, "scale every run to a short horizon")
+		expand  = flag.Bool("expand", false, "list the expanded runs without simulating")
+		verbose = flag.Bool("v", false, "print per-run completion progress to stderr")
+		events  = flag.Bool("events", false, "narrate run events (recoveries, faults, crashes) to stderr")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sncampaign [flags] campaign.json")
+		flag.PrintDefaults()
+		return 1
+	}
+	switch *format {
+	case "text", "json", "csv":
+	default:
+		fmt.Fprintf(os.Stderr, "sncampaign: unknown format %q (have text, json, csv)\n", *format)
+		return 1
+	}
+
+	c, err := safetynet.LoadCampaign(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sncampaign: %v\n", err)
+		return 1
+	}
+
+	opts := safetynet.CampaignOptions{Workers: *par}
+	if *short {
+		opts.ScaleTo = shortBudgetCycles
+	}
+
+	if *expand {
+		runs, err := c.Expand()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sncampaign: %v\n", err)
+			return 1
+		}
+		for _, r := range runs {
+			fmt.Printf("%4d  %s\n", r.Index, r.Desc)
+		}
+		fmt.Printf("%d runs\n", len(runs))
+		return 0
+	}
+
+	if *verbose {
+		opts.OnResult = func(done, total int, run safetynet.CampaignRun, res safetynet.ExperimentRunResult) {
+			status := fmt.Sprintf("ipc=%.3f recoveries=%d", res.IPC, res.Recoveries)
+			if res.Crashed {
+				status = "CRASH: " + res.CrashCause
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s: %s\n", done, total, run.Desc, status)
+		}
+	}
+	if *events {
+		opts.Observer = func(run safetynet.CampaignRun) *safetynet.RunObserver {
+			desc := run.Desc
+			return &safetynet.RunObserver{
+				RecoveryCompleted: func(cycle uint64, ckpt uint32, latency uint64) {
+					fmt.Fprintf(os.Stderr, "%s: [%10d] recovery complete: back to checkpoint %d after %d cycles\n",
+						desc, cycle, ckpt, latency)
+				},
+				FaultFired: func(cycle uint64, kind string) {
+					fmt.Fprintf(os.Stderr, "%s: [%10d] fault fired: %s\n", desc, cycle, kind)
+				},
+				Crashed: func(cycle uint64, cause string) {
+					fmt.Fprintf(os.Stderr, "%s: [%10d] CRASH: %s\n", desc, cycle, cause)
+				},
+			}
+		}
+	}
+
+	rep, err := c.Run(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sncampaign: %v\n", err)
+		return 1
+	}
+	out, err := rep.Encode(*format)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sncampaign: %v\n", err)
+		return 1
+	}
+	fmt.Print(out)
+	if *format == "json" {
+		fmt.Println() // MarshalIndent has no trailing newline
+	}
+	if n := len(rep.ExpectFailures); n > 0 {
+		fmt.Fprintf(os.Stderr, "sncampaign: %d run(s) failed their declared expectations\n", n)
+		return 1
+	}
+	return 0
+}

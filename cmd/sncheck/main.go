@@ -3,14 +3,21 @@
 // false-sharing stress workload with randomized fault injection, with
 // MOSI and SafetyNet invariants verified at every recovery and at the end
 // of every run (paper §4.1's random-tester methodology).
+//
+// Both coherence backends are checked. On failure, every violation is
+// reported — not just the first — as a per-seed summary table (backend,
+// seed, cycle, invariant, detail), so a CI log alone tells which seeds
+// to replay; the exit status is then non-zero.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 
 	"safetynet/internal/checker"
+	"safetynet/internal/stats"
 )
 
 func main() {
@@ -27,15 +34,28 @@ func main() {
 	}
 	rep := checker.Check(opts)
 	fmt.Println("directory system:", rep)
-	for _, v := range rep.Violations {
-		fmt.Println(" ", v)
-	}
 	snoopRep := checker.CheckSnoop(opts)
 	fmt.Println("snooping system: ", snoopRep)
-	for _, v := range snoopRep.Violations {
-		fmt.Println(" ", v)
+
+	violations := append(append([]checker.Violation{}, rep.Violations...), snoopRep.Violations...)
+	if len(violations) == 0 {
+		return
 	}
-	if !rep.OK() || !snoopRep.OK() {
-		os.Exit(1)
+
+	// One row per violation: everything needed to replay the failing
+	// seed without rerunning the whole campaign.
+	rows := make([][]string, 0, len(violations))
+	for _, v := range violations {
+		rows = append(rows, []string{
+			v.Backend,
+			strconv.FormatUint(v.Seed, 10),
+			strconv.FormatUint(v.Cycle, 10),
+			v.Invariant,
+			v.Detail,
+		})
 	}
+	fmt.Println()
+	fmt.Printf("failure summary (%d violations):\n", len(violations))
+	fmt.Print(stats.Table([]string{"backend", "seed", "cycle", "invariant", "detail"}, rows))
+	os.Exit(1)
 }

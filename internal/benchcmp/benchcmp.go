@@ -1,0 +1,184 @@
+// Package benchcmp implements the CI bench-regression gate: it parses
+// `go test -bench` output, compares the tier-1 microbenchmarks against
+// a checked-in baseline (BENCH_baseline.json), and fails on a
+// throughput regression beyond the tolerance or on any allocation
+// increase. Allocations gate at zero tolerance because the simulator's
+// hot paths are engineered to be allocation-free (see the PR-2
+// zero-allocation work); a single alloc/op regression there is a real
+// defect, not noise.
+package benchcmp
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the benchmark's bare name, with the -<GOMAXPROCS> suffix
+	// stripped (BenchmarkEngineSchedule-8 -> BenchmarkEngineSchedule).
+	Name string `json:"name"`
+	// NsPerOp is wall time per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp is heap allocations per operation (-benchmem); -1
+	// when the line carried no allocation column.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// benchLine matches "BenchmarkX-8  <iters>  <ns> ns/op ..." with
+// optional -benchmem and custom-metric columns.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+// ParseOutput parses `go test -bench` text output into results.
+// Non-benchmark lines are skipped, so the full `go test` transcript can
+// be piped in.
+func ParseOutput(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		res := Result{Name: m[1], AllocsPerOp: -1}
+		// The tail is "<value> <unit>" pairs.
+		fields := strings.Fields(m[2])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchmark %s: bad value %q: %w", res.Name, fields[i], err)
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			}
+		}
+		if res.NsPerOp == 0 {
+			return nil, fmt.Errorf("benchmark %s: no ns/op column in %q", res.Name, sc.Text())
+		}
+		out = append(out, res)
+	}
+	return out, sc.Err()
+}
+
+// Baseline is the checked-in reference the gate compares against.
+type Baseline struct {
+	// Note documents how to regenerate the file.
+	Note       string   `json:"note,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// EncodeBaseline renders a canonical baseline file from results.
+func EncodeBaseline(note string, results []Result) ([]byte, error) {
+	sorted := append([]Result(nil), results...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	out, err := json.MarshalIndent(Baseline{Note: note, Benchmarks: sorted}, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// ParseBaseline decodes a baseline file.
+func ParseBaseline(data []byte) (*Baseline, error) {
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, err
+	}
+	if len(b.Benchmarks) == 0 {
+		return nil, fmt.Errorf("baseline lists no benchmarks")
+	}
+	return &b, nil
+}
+
+// Comparison is the gate's verdict for one baseline benchmark.
+type Comparison struct {
+	Name     string
+	Baseline Result
+	Current  Result
+	// SlowdownPct is the ns/op change relative to baseline (positive =
+	// slower).
+	SlowdownPct float64
+	// Failures lists this benchmark's gate violations (empty = pass).
+	Failures []string
+}
+
+// Compare checks every baseline benchmark against the current results.
+// tolerance is the allowed fractional ns/op slowdown (0.15 = 15%);
+// allocs/op must not increase at all. A baseline benchmark missing from
+// the current results fails the gate — a silently skipped benchmark
+// must not pass.
+func Compare(b *Baseline, current []Result, tolerance float64) []Comparison {
+	byName := map[string]Result{}
+	for _, r := range current {
+		byName[r.Name] = r
+	}
+	var out []Comparison
+	for _, base := range b.Benchmarks {
+		c := Comparison{Name: base.Name, Baseline: base}
+		cur, ok := byName[base.Name]
+		if !ok {
+			c.Failures = append(c.Failures, "benchmark missing from current results")
+			out = append(out, c)
+			continue
+		}
+		c.Current = cur
+		c.SlowdownPct = 100 * (cur.NsPerOp - base.NsPerOp) / base.NsPerOp
+		if cur.NsPerOp > base.NsPerOp*(1+tolerance) {
+			c.Failures = append(c.Failures,
+				fmt.Sprintf("ns/op regressed %.1f%% (%.1f -> %.1f, tolerance %.0f%%)",
+					c.SlowdownPct, base.NsPerOp, cur.NsPerOp, 100*tolerance))
+		}
+		if base.AllocsPerOp >= 0 {
+			if cur.AllocsPerOp < 0 {
+				c.Failures = append(c.Failures, "allocs/op missing (run with -benchmem)")
+			} else if cur.AllocsPerOp > base.AllocsPerOp {
+				c.Failures = append(c.Failures,
+					fmt.Sprintf("allocs/op increased %.0f -> %.0f (any increase fails)",
+						base.AllocsPerOp, cur.AllocsPerOp))
+			}
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// Failures flattens the gate violations across comparisons.
+func Failures(cs []Comparison) []string {
+	var out []string
+	for _, c := range cs {
+		for _, f := range c.Failures {
+			out = append(out, c.Name+": "+f)
+		}
+	}
+	return out
+}
+
+// Render prints the comparison table.
+func Render(cs []Comparison) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-40s %14s %14s %9s %8s\n", "benchmark", "base ns/op", "now ns/op", "delta", "status")
+	for _, c := range cs {
+		status := "ok"
+		if len(c.Failures) > 0 {
+			status = "FAIL"
+		}
+		now := "missing"
+		delta := ""
+		if c.Current.Name != "" {
+			now = fmt.Sprintf("%.1f", c.Current.NsPerOp)
+			delta = fmt.Sprintf("%+.1f%%", c.SlowdownPct)
+		}
+		fmt.Fprintf(&b, "%-40s %14.1f %14s %9s %8s\n", c.Name, c.Baseline.NsPerOp, now, delta, status)
+	}
+	return b.String()
+}

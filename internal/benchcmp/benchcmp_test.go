@@ -1,0 +1,133 @@
+package benchcmp
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: safetynet
+BenchmarkEngineSchedule-8     	 5000000	       250.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkNetworkSend-8        	 2000000	       600.5 ns/op	       8 B/op	       0 allocs/op
+BenchmarkSimulatorThroughput-8	       5	 250000000 ns/op	4000000 sim-cycles/s	 1000 B/op	      10 allocs/op
+PASS
+ok  	safetynet	12.3s
+`
+
+func parsedSample(t *testing.T) []Result {
+	t.Helper()
+	rs, err := ParseOutput(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
+
+func TestParseOutput(t *testing.T) {
+	rs := parsedSample(t)
+	if len(rs) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(rs))
+	}
+	if rs[0].Name != "BenchmarkEngineSchedule" || rs[0].NsPerOp != 250 || rs[0].AllocsPerOp != 0 {
+		t.Fatalf("first result = %+v (GOMAXPROCS suffix must be stripped)", rs[0])
+	}
+	// Custom metrics (sim-cycles/s) must not confuse the column pairing.
+	if rs[2].NsPerOp != 250000000 || rs[2].AllocsPerOp != 10 {
+		t.Fatalf("throughput result = %+v", rs[2])
+	}
+}
+
+func TestParseOutputWithoutBenchmem(t *testing.T) {
+	rs, err := ParseOutput(strings.NewReader("BenchmarkX-4  100  42.0 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].AllocsPerOp != -1 {
+		t.Fatalf("AllocsPerOp = %v, want -1 sentinel when -benchmem is absent", rs[0].AllocsPerOp)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	enc, err := EncodeBaseline("regenerate with cmd/benchgate -update", parsedSample(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseBaseline(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Benchmarks) != 3 {
+		t.Fatalf("baseline has %d benchmarks", len(b.Benchmarks))
+	}
+	// Canonical order is sorted by name.
+	if b.Benchmarks[0].Name != "BenchmarkEngineSchedule" || b.Benchmarks[2].Name != "BenchmarkSimulatorThroughput" {
+		t.Fatalf("baseline order = %v, %v", b.Benchmarks[0].Name, b.Benchmarks[2].Name)
+	}
+	if _, err := ParseBaseline([]byte(`{"benchmarks": []}`)); err == nil {
+		t.Fatal("empty baseline must be rejected")
+	}
+}
+
+func baselineOf(t *testing.T, rs []Result) *Baseline {
+	t.Helper()
+	enc, err := EncodeBaseline("", rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseBaseline(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestCompareWithinTolerancePasses(t *testing.T) {
+	base := baselineOf(t, parsedSample(t))
+	current := parsedSample(t)
+	current[0].NsPerOp *= 1.10 // 10% slower: inside the 15% tolerance
+	cs := Compare(base, current, 0.15)
+	if fails := Failures(cs); len(fails) != 0 {
+		t.Fatalf("within-tolerance run failed the gate: %v", fails)
+	}
+}
+
+func TestCompareThroughputRegressionFails(t *testing.T) {
+	base := baselineOf(t, parsedSample(t))
+	current := parsedSample(t)
+	current[1].NsPerOp *= 1.30 // 30% slower
+	cs := Compare(base, current, 0.15)
+	fails := Failures(cs)
+	if len(fails) != 1 || !strings.Contains(fails[0], "BenchmarkNetworkSend") {
+		t.Fatalf("failures = %v, want one NetworkSend regression", fails)
+	}
+	if !strings.Contains(Render(cs), "FAIL") {
+		t.Fatal("render must mark the failing row")
+	}
+}
+
+func TestCompareAnyAllocIncreaseFails(t *testing.T) {
+	base := baselineOf(t, parsedSample(t))
+	current := parsedSample(t)
+	current[0].AllocsPerOp = 1 // 0 -> 1: a single alloc/op fails
+	cs := Compare(base, current, 0.15)
+	fails := Failures(cs)
+	if len(fails) != 1 || !strings.Contains(fails[0], "allocs/op increased") {
+		t.Fatalf("failures = %v, want one alloc increase", fails)
+	}
+	// Getting faster while keeping allocs flat is fine.
+	current = parsedSample(t)
+	current[0].NsPerOp /= 2
+	if fails := Failures(Compare(base, current, 0.15)); len(fails) != 0 {
+		t.Fatalf("speedup failed the gate: %v", fails)
+	}
+}
+
+func TestCompareMissingBenchmarkFails(t *testing.T) {
+	base := baselineOf(t, parsedSample(t))
+	current := parsedSample(t)[:2] // SimulatorThroughput missing
+	fails := Failures(Compare(base, current, 0.15))
+	if len(fails) != 1 || !strings.Contains(fails[0], "missing") {
+		t.Fatalf("failures = %v, want one missing-benchmark failure", fails)
+	}
+}

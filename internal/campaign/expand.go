@@ -1,0 +1,143 @@
+package campaign
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"safetynet/internal/scenario"
+)
+
+// Run is one expanded point of the campaign matrix: a fully assembled
+// scenario plus the labels naming its position along every dimension.
+type Run struct {
+	// Index is the run's position in the deterministic expansion order
+	// (axes in declaration order, variants, then seeds innermost).
+	Index int
+	// Labels maps each axis name — plus LabelVariant and LabelSeed when
+	// the campaign declares variants or a seed range — to this run's
+	// position along that dimension.
+	Labels map[string]string
+	// Desc is the run's human-readable position ("interval=50k
+	// variant=faulty seed=3"), stable across worker counts.
+	Desc string
+	// Scenario is the assembled run description, ready to execute.
+	Scenario scenario.Scenario
+}
+
+// Label returns one label value ("" when absent).
+func (r Run) Label(key string) string { return r.Labels[key] }
+
+// Expand validates the campaign and assembles every run of the matrix:
+// the cartesian product of axis points (axes in declaration order,
+// first axis outermost) × variants × seeds (innermost). Every assembled
+// scenario is validated, so an expanded campaign is runnable end to
+// end; the first invalid run reports which matrix position assembled
+// it. The order is deterministic and independent of any execution
+// concern, which is what makes campaign reports byte-identical at any
+// worker count.
+func (c *Campaign) Expand() ([]Run, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	nVariants := len(c.Variants)
+	if nVariants == 0 {
+		nVariants = 1
+	}
+	nSeeds := 1
+	if c.Seeds != nil {
+		nSeeds = c.Seeds.Count
+	}
+	total := c.Runs()
+	runs := make([]Run, 0, total)
+	combo := make([]int, len(c.Axes))
+	for i := 0; i < total; i++ {
+		// Decompose the linear index with seeds fastest, variants next,
+		// and the last-declared axis varying faster than the first.
+		rem := i
+		seedIdx := rem % nSeeds
+		rem /= nSeeds
+		variantIdx := rem % nVariants
+		rem /= nVariants
+		for k := len(c.Axes) - 1; k >= 0; k-- {
+			combo[k] = rem % len(c.Axes[k].Points)
+			rem /= len(c.Axes[k].Points)
+		}
+
+		sc := c.Base
+		labels := make(map[string]string, len(c.Axes)+2)
+		var desc strings.Builder
+		ov := c.Base.Overrides
+		for k, axis := range c.Axes {
+			pt := axis.Points[combo[k]]
+			labels[axis.Name] = pt.Label
+			if desc.Len() > 0 {
+				desc.WriteByte(' ')
+			}
+			fmt.Fprintf(&desc, "%s=%s", axis.Name, pt.Label)
+			if pt.Workload != "" {
+				sc.Workload = pt.Workload
+			}
+			ov = ov.Merge(pt.Overrides)
+		}
+		if len(c.Variants) > 0 {
+			v := c.Variants[variantIdx]
+			labels[LabelVariant] = v.Name
+			if desc.Len() > 0 {
+				desc.WriteByte(' ')
+			}
+			fmt.Fprintf(&desc, "%s=%s", LabelVariant, v.Name)
+			sc.Faults = v.Faults
+			if v.Expect != nil {
+				sc.Expect = v.Expect
+			}
+		}
+		if c.Seeds != nil {
+			seed := c.Seeds.Start + uint64(seedIdx)*c.Seeds.stride()
+			labels[LabelSeed] = strconv.FormatUint(seed, 10)
+			if desc.Len() > 0 {
+				desc.WriteByte(' ')
+			}
+			fmt.Fprintf(&desc, "%s=%d", LabelSeed, seed)
+			ov = ov.Merge(&scenario.Overrides{Seed: &seed})
+		}
+		sc.Overrides = ov
+		if err := sc.Validate(); err != nil {
+			return nil, fmt.Errorf("campaign: run %d (%s): %w", i, desc.String(), err)
+		}
+		runs = append(runs, Run{Index: i, Labels: labels, Desc: desc.String(), Scenario: sc})
+	}
+	return runs, nil
+}
+
+// Scaled returns a copy of the campaign proportionally shrunk so every
+// run's total horizon fits budgetCycles: the base scenario's phases and
+// each variant's fault schedule scale by the same factor, preserving
+// the sweep's shape (see scenario.ScaleTo). Campaigns already within
+// budget are returned unchanged. The CI smoke tooling uses it
+// (sncampaign -short) to exercise checked-in campaigns quickly.
+func (c *Campaign) Scaled(budgetCycles uint64) *Campaign {
+	out := *c
+	if budgetCycles == 0 || c.Base.TotalCycles() <= budgetCycles {
+		return &out
+	}
+	warmup, measure := c.Base.WarmupCycles, c.Base.MeasureCycles
+	// Copy the plan before scaling: ScaleTo rescales events in place,
+	// and the copy's slice still aliases the caller's backing array.
+	out.Base.Faults = append(c.Base.Faults[:0:0], c.Base.Faults...)
+	out.Base.ScaleTo(budgetCycles)
+	// Each variant's plan scales by the same factor as the base phases;
+	// routing it through a throwaway scenario with the original phases
+	// reuses scenario.ScaleTo's clamping rules exactly.
+	out.Variants = append([]Variant(nil), c.Variants...)
+	for i, v := range out.Variants {
+		tmp := scenario.Scenario{
+			WarmupCycles:  warmup,
+			MeasureCycles: measure,
+			Faults:        append(v.Faults[:0:0], v.Faults...),
+		}
+		tmp.ScaleTo(budgetCycles)
+		out.Variants[i].Faults = tmp.Faults
+	}
+	return &out
+}

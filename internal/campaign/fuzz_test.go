@@ -1,0 +1,87 @@
+package campaign
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// exampleCampaignFiles returns the checked-in campaign files, which the
+// parser tests and the fuzz corpus both feed on.
+func exampleCampaignFiles(t testing.TB) []string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "campaigns", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no checked-in campaign files found")
+	}
+	return paths
+}
+
+// TestCheckedInCampaignsParse: every example campaign file loads and its
+// canonical encoding matches the checked-in bytes, so the files stay in
+// the canonical form Encode produces.
+func TestCheckedInCampaignsParse(t *testing.T) {
+	for _, p := range exampleCampaignFiles(t) {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := Parse(data)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		enc, err := c.Encode()
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if !bytes.Equal(data, enc) {
+			t.Errorf("%s is not in canonical form; expected:\n%s", p, enc)
+		}
+	}
+}
+
+// FuzzLoadCampaign drives the campaign parser (the core of
+// safetynet.LoadCampaign) with the checked-in example campaigns as the
+// seed corpus. The property under test is the round-trip guarantee:
+// anything Parse accepts must Encode canonically, re-Parse, and reach a
+// fixed point — and Parse must never panic on arbitrary input.
+func FuzzLoadCampaign(f *testing.F) {
+	for _, p := range exampleCampaignFiles(f) {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"base": {"workload": "oltp", "measure_cycles": 1000}}`))
+	f.Add([]byte(`{"base": {"workload": "jbb", "measure_cycles": 1000},
+		"axes": [{"name": "interval", "points": [{"label": "10k", "overrides": {"checkpoint_interval_cycles": 10000}}]}],
+		"variants": [{"name": "drop", "faults": [{"kind": "drop-once", "at": 500}]}],
+		"seeds": {"start": 1, "count": 3}}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := Parse(data)
+		if err != nil {
+			return // invalid input is fine; panicking is not
+		}
+		enc, err := c.Encode()
+		if err != nil {
+			t.Fatalf("accepted campaign failed to encode: %v", err)
+		}
+		c2, err := Parse(enc)
+		if err != nil {
+			t.Fatalf("canonical encoding rejected: %v\n%s", err, enc)
+		}
+		enc2, err := c2.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("not a fixed point:\n1st: %s\n2nd: %s", enc, enc2)
+		}
+	})
+}

@@ -36,12 +36,38 @@ func DefaultOptions() Options {
 	return Options{Seeds: 10, CyclesPerRun: 400_000, Protected: true}
 }
 
+// Violation is one invariant failure, structured so CI logs answer
+// "which seed, when, what broke" without rerunning: the backend and
+// seed reproduce the run, the cycle localizes the failure in it, and
+// the invariant names the broken property.
+type Violation struct {
+	// Backend is the checked system ("directory" or "snoop").
+	Backend string
+	// Seed reproduces the failing run.
+	Seed uint64
+	// Cycle is the simulation time at which the violation was observed
+	// (0 when the run never started, e.g. a fault plan that failed to
+	// arm).
+	Cycle uint64
+	// Invariant is the broken property's stable short name (e.g.
+	// "post-recovery-coherence", "quiesce", "forward-progress").
+	Invariant string
+	// Detail is the human-readable specifics.
+	Detail string
+}
+
+// String renders the violation as one log line.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s seed %d @ cycle %d: %s: %s",
+		v.Backend, v.Seed, v.Cycle, v.Invariant, v.Detail)
+}
+
 // Report is a campaign's outcome.
 type Report struct {
 	Runs       int
 	Recoveries int
 	Faults     int
-	Violations []string
+	Violations []Violation
 }
 
 // OK reports whether the campaign found no violations.
@@ -85,10 +111,21 @@ func Check(o Options) *Report {
 	return rep
 }
 
-func (rep *Report) violate(seed uint64, format string, a ...any) {
-	rep.Violations = append(rep.Violations,
-		fmt.Sprintf("seed %d: %s", seed, fmt.Sprintf(format, a...)))
+func (rep *Report) violate(backend string, seed, cycle uint64, invariant, format string, a ...any) {
+	rep.Violations = append(rep.Violations, Violation{
+		Backend:   backend,
+		Seed:      seed,
+		Cycle:     cycle,
+		Invariant: invariant,
+		Detail:    fmt.Sprintf(format, a...),
+	})
 }
+
+// Backend names for violation records.
+const (
+	backendDirectory = "directory"
+	backendSnoop     = "snoop"
+)
 
 func (rep *Report) run(o Options, seed uint64) {
 	p := stressConfig(o.Protected, seed)
@@ -125,7 +162,7 @@ func (rep *Report) run(o Options, seed uint64) {
 			plan = fault.Plan{fault.DuplicateOnce{At: at}}
 		}
 		if err := plan.Arm(m.FaultTarget()); err != nil {
-			rep.violate(seed, "fault plan failed to arm: %v", err)
+			rep.violate(backendDirectory, seed, 0, "fault-arm", "fault plan failed to arm: %v", err)
 			return
 		}
 		rep.Faults += len(plan)
@@ -137,7 +174,7 @@ func (rep *Report) run(o Options, seed uint64) {
 	m.AfterRecovery = func() {
 		if errs := m.CheckCoherence(); len(errs) != 0 {
 			recoveredOK = false
-			rep.violate(seed, "post-recovery violation: %s", errs[0])
+			rep.violate(backendDirectory, seed, uint64(m.Now()), "post-recovery-coherence", "%s", errs[0])
 		}
 	}
 
@@ -145,7 +182,7 @@ func (rep *Report) run(o Options, seed uint64) {
 	m.Run(sim.Time(o.CyclesPerRun))
 
 	if o.Protected && m.Crashed {
-		rep.violate(seed, "protected system crashed: %s", m.CrashCause)
+		rep.violate(backendDirectory, seed, uint64(m.Now()), "protected-crash", "protected system crashed: %s", m.CrashCause)
 		return
 	}
 	if svc := m.ActiveService(); svc != nil {
@@ -158,15 +195,15 @@ func (rep *Report) run(o Options, seed uint64) {
 		// A quiesce failure after a hard fault can mean the system is
 		// still recovering; allow extra budget before declaring it hung.
 		if !m.Quiesce(sim.Time(o.CyclesPerRun)) {
-			rep.violate(seed, "system failed to quiesce")
+			rep.violate(backendDirectory, seed, uint64(m.Now()), "quiesce", "system failed to quiesce")
 			return
 		}
 	}
 	if errs := m.CheckCoherence(); len(errs) != 0 {
-		rep.violate(seed, "final-state violation (%d total): %s", len(errs), errs[0])
+		rep.violate(backendDirectory, seed, uint64(m.Now()), "final-coherence", "final-state violation (%d total): %s", len(errs), errs[0])
 	}
 	if m.TotalInstrs() == 0 {
-		rep.violate(seed, "no forward progress")
+		rep.violate(backendDirectory, seed, uint64(m.Now()), "forward-progress", "no forward progress")
 	}
 }
 
@@ -202,7 +239,7 @@ func (rep *Report) runSnoop(o Options, seed uint64) {
 		}
 	}
 	if err := plan.Arm(s.FaultTarget()); err != nil {
-		rep.violate(seed, "snoop: fault plan failed to arm: %v", err)
+		rep.violate(backendSnoop, seed, 0, "fault-arm", "fault plan failed to arm: %v", err)
 		return
 	}
 	rep.Faults += len(plan)
@@ -210,17 +247,17 @@ func (rep *Report) runSnoop(o Options, seed uint64) {
 	s.Run(sim.Time(o.CyclesPerRun))
 	rep.Recoveries += s.Recoveries
 	if s.Dropped()+s.Corrupted() > 0 && s.Recoveries == 0 {
-		rep.violate(seed, "snoop: lost data response never recovered")
+		rep.violate(backendSnoop, seed, uint64(s.Now()), "fault-recovery", "lost data response never recovered")
 		return
 	}
 	if !s.Quiesce(sim.Time(o.CyclesPerRun)) {
-		rep.violate(seed, "snoop: failed to quiesce")
+		rep.violate(backendSnoop, seed, uint64(s.Now()), "quiesce", "failed to quiesce")
 		return
 	}
 	if errs := s.CheckCoherence(); len(errs) != 0 {
-		rep.violate(seed, "snoop: %s", errs[0])
+		rep.violate(backendSnoop, seed, uint64(s.Now()), "final-coherence", "%s", errs[0])
 	}
 	if s.TotalInstrs() == 0 {
-		rep.violate(seed, "snoop: no forward progress")
+		rep.violate(backendSnoop, seed, uint64(s.Now()), "forward-progress", "no forward progress")
 	}
 }

@@ -40,9 +40,24 @@ func TestCheckerUnprotectedFaultFree(t *testing.T) {
 }
 
 func TestReportString(t *testing.T) {
-	r := &Report{Runs: 2, Violations: []string{"x"}}
+	r := &Report{Runs: 2, Violations: []Violation{{Backend: "directory", Seed: 3}}}
 	if !strings.Contains(r.String(), "FAIL") {
 		t.Fatalf("report = %q", r.String())
+	}
+}
+
+// TestViolationString: a violation line carries everything needed to
+// reproduce and localize the failure — backend, seed, cycle, invariant.
+func TestViolationString(t *testing.T) {
+	v := Violation{
+		Backend: "snoop", Seed: 7, Cycle: 123_456,
+		Invariant: "quiesce", Detail: "failed to quiesce",
+	}
+	s := v.String()
+	for _, want := range []string{"snoop", "seed 7", "cycle 123456", "quiesce"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("violation %q lacks %q", s, want)
+		}
 	}
 }
 

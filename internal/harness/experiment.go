@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"safetynet/internal/config"
+	"safetynet/internal/runner"
 )
 
 // Point is one simulation of an experiment's design-point grid. Labels
@@ -60,35 +61,13 @@ func (e Experiment) Run(base config.Params, o Options) *Report {
 // RunPoints executes every point and returns results in point order.
 // Each run owns its own deterministic engine, machine, and RNG, so runs
 // are independent and the result for a given point is identical whether
-// it executed serially or on a worker pool.
+// it executed serially or on a worker pool (runner.RunAll).
 func RunPoints(pts []Point, parallelism int) []RunResult {
-	res := make([]RunResult, len(pts))
-	if parallelism > len(pts) {
-		parallelism = len(pts)
-	}
-	if parallelism <= 1 {
-		for i := range pts {
-			res[i] = Run(pts[i].Run)
-		}
-		return res
-	}
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < parallelism; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				res[i] = Run(pts[i].Run)
-			}
-		}()
-	}
+	rcs := make([]RunConfig, len(pts))
 	for i := range pts {
-		idx <- i
+		rcs[i] = pts[i].Run
 	}
-	close(idx)
-	wg.Wait()
-	return res
+	return runner.RunAll(rcs, parallelism)
 }
 
 // ---------------------------------------------------------------------

@@ -6,171 +6,37 @@
 // its own deterministic engine — so the runner fans them across a
 // worker pool without changing any result. cmd/snbench and the
 // repository's benchmarks are thin wrappers around this package.
+//
+// The single-run executor and the worker pool live one layer down, in
+// internal/runner, which this package shares with the campaign engine
+// (internal/campaign); the aliases below keep the harness API the
+// experiment files and external callers program against.
 package harness
 
 import (
-	"safetynet/internal/cache"
+	"safetynet/internal/backend"
 	"safetynet/internal/config"
-	"safetynet/internal/fault"
-	"safetynet/internal/machine"
+	"safetynet/internal/runner"
 	"safetynet/internal/sim"
 	"safetynet/internal/topology"
 	"safetynet/internal/workload"
 )
 
-// RunConfig is one simulation run.
-type RunConfig struct {
-	Params   config.Params
-	Workload string
-	// Warmup cycles run before the measurement window opens.
-	Warmup sim.Time
-	// Measure is the measurement-window length.
-	Measure sim.Time
-	// Fault is the ordered fault plan armed before the run starts; the
-	// zero value is fault-free.
-	Fault fault.Plan
-}
+// RunConfig is one simulation run; see runner.RunConfig.
+type RunConfig = runner.RunConfig
 
-// RunResult carries everything the experiments report.
-type RunResult struct {
-	Crashed    bool
-	CrashCause string
-
-	// Measurement-window deltas.
-	Cycles uint64
-	Instrs uint64
-	IPC    float64 // aggregate instructions per cycle (all processors)
-
-	StoresTotal     uint64
-	StoresLogged    uint64
-	CoherenceReqs   uint64
-	TransfersLogged uint64
-	DirLogged       uint64
-	Bandwidth       cache.Bandwidth
-	CLBStallCycles  uint64
-
-	Recoveries       int
-	RecoveryCycles   []sim.Time
-	InstrsRolledBack uint64
-
-	CLBPeakBytes int
-	NetSent      uint64
-	NetDropped   uint64
-}
-
-// counters is the directory machine's detailed measurement snapshot; the
-// protocol-neutral counters shared with the snoop backend come from
-// backend.Counters instead.
-type counters struct {
-	cs map[string]uint64
-	bw cache.Bandwidth
-}
-
-func snapshot(m *machine.Machine) counters {
-	c := counters{cs: map[string]uint64{}}
-	for _, n := range m.Nodes {
-		s := n.CC.Stats()
-		c.cs["stores"] += s.Stores
-		c.cs["reqs"] += s.RequestsIssued
-		c.cs["clbStall"] += s.CLBStallCycles
-		c.cs["dirLog"] += n.Dir.Stats().EntriesLogged
-		bw := n.CC.Bandwidth()
-		c.bw.HitCycles += bw.HitCycles
-		c.bw.FillCycles += bw.FillCycles
-		c.bw.CoherenceCycles += bw.CoherenceCycles
-		c.bw.LoggingCycles += bw.LoggingCycles
-	}
-	return c
-}
+// RunResult carries everything the experiments report; see
+// runner.RunResult.
+type RunResult = runner.RunResult
 
 // Run executes one simulation on the backend the parameters select and
-// returns its measured results. The protocol-neutral counters (IPC,
-// logging, recoveries, traffic) are measured on every backend; the
-// directory machine additionally reports its detailed bandwidth,
-// directory-log, and CLB-occupancy breakdowns.
-func Run(rc RunConfig) RunResult {
-	prof, err := workload.ByName(rc.Workload)
-	if err != nil {
-		// Crashed result, not a panic: see the fault-plan comment below.
-		return RunResult{Crashed: true, CrashCause: "invalid configuration: " + err.Error()}
-	}
-	be, err := NewBackend(rc.Params, prof)
-	if err != nil {
-		return RunResult{Crashed: true, CrashCause: "invalid configuration: " + err.Error()}
-	}
-	if err := rc.Fault.Arm(be.FaultTarget()); err != nil {
-		// Surface an invalid plan as a crashed run rather than panicking:
-		// small-but-legal Options can produce degenerate plans, and a
-		// panic inside a parallel worker would kill the whole process.
-		return RunResult{Crashed: true, CrashCause: "invalid fault plan: " + err.Error()}
-	}
-	m, _ := be.(*machine.Machine) // nil for the snoop backend
+// returns its measured results.
+func Run(rc RunConfig) RunResult { return runner.Run(rc) }
 
-	be.Start()
-	be.Run(rc.Warmup)
-	if crashed, cause := be.CrashInfo(); crashed {
-		return RunResult{Crashed: true, CrashCause: cause}
-	}
-	cBefore := be.Counters()
-	var before counters
-	if m != nil {
-		before = snapshot(m)
-	}
-	be.Run(rc.Warmup + rc.Measure)
-	res := RunResult{}
-	if crashed, cause := be.CrashInfo(); crashed {
-		res.Crashed = true
-		res.CrashCause = cause
-		return res
-	}
-	cAfter := be.Counters()
-
-	res.Cycles = uint64(rc.Measure)
-	res.Instrs = cAfter.Instrs - cBefore.Instrs
-	res.IPC = float64(res.Instrs) / float64(rc.Measure)
-	res.StoresLogged = cAfter.StoresLogged - cBefore.StoresLogged
-	res.TransfersLogged = cAfter.TransfersLogged - cBefore.TransfersLogged
-	res.InstrsRolledBack = cAfter.InstrsRolledBack - cBefore.InstrsRolledBack
-	// Like every other counter, recoveries and losses are window deltas,
-	// so warmup-time faults are not attributed to the measurement.
-	res.Recoveries = cAfter.Recoveries - cBefore.Recoveries
-	res.NetSent = cAfter.MessagesSent - cBefore.MessagesSent
-	res.NetDropped = cAfter.MessagesDropped - cBefore.MessagesDropped
-
-	if m == nil {
-		return res
-	}
-	after := snapshot(m)
-	res.StoresTotal = after.cs["stores"] - before.cs["stores"]
-	res.CoherenceReqs = after.cs["reqs"] - before.cs["reqs"]
-	res.DirLogged = after.cs["dirLog"] - before.cs["dirLog"]
-	res.CLBStallCycles = after.cs["clbStall"] - before.cs["clbStall"]
-	res.Bandwidth = cache.Bandwidth{
-		HitCycles:       after.bw.HitCycles - before.bw.HitCycles,
-		FillCycles:      after.bw.FillCycles - before.bw.FillCycles,
-		CoherenceCycles: after.bw.CoherenceCycles - before.bw.CoherenceCycles,
-		LoggingCycles:   after.bw.LoggingCycles - before.bw.LoggingCycles,
-	}
-	if svc := m.ActiveService(); svc != nil {
-		recs := svc.Recoveries()
-		// Only the measurement window's recoveries (the cumulative list's
-		// tail, matching the res.Recoveries delta).
-		if len(recs) > res.Recoveries {
-			recs = recs[len(recs)-res.Recoveries:]
-		}
-		for _, r := range recs {
-			res.RecoveryCycles = append(res.RecoveryCycles, r.Duration())
-		}
-	}
-	for _, n := range m.Nodes {
-		if clb := n.CC.CLB(); clb != nil && clb.PeakBytes() > res.CLBPeakBytes {
-			res.CLBPeakBytes = clb.PeakBytes()
-		}
-		if clb := n.Dir.CLB(); clb != nil && clb.PeakBytes() > res.CLBPeakBytes {
-			res.CLBPeakBytes = clb.PeakBytes()
-		}
-	}
-	return res
+// NewBackend builds the simulated system the parameters select; every
+// experiment, fault plan, and CLI flag works on either backend alike.
+func NewBackend(p config.Params, prof workload.Profile) (backend.Backend, error) {
+	return runner.NewBackend(p, prof)
 }
 
 // Options sizes an experiment suite run.
@@ -184,8 +50,9 @@ type Options struct {
 	// BaseSeed seeds the perturbation sequence.
 	BaseSeed uint64
 	// Parallelism is the number of simulations run concurrently (each
-	// on its own engine); values <= 1 run serially. Results are
-	// identical either way — only wall-clock changes.
+	// on its own engine); zero and negative values mean one worker per
+	// available CPU (runner.Workers). Results are identical at any
+	// worker count — only wall-clock changes.
 	Parallelism int
 }
 
@@ -202,7 +69,9 @@ func QuickOptions() Options {
 
 // sanitized clamps degenerate sizing so experiment grids never build
 // impossible runs (e.g. a zero-length measurement window turning a
-// derived fault period into zero, which would fail at arm time).
+// derived fault period into zero, which would fail at arm time). The
+// worker count goes through the shared runner.Workers path, the same
+// sanitization the campaign engine applies.
 func (o Options) sanitized() Options {
 	if o.Runs < 1 {
 		o.Runs = 1
@@ -210,16 +79,18 @@ func (o Options) sanitized() Options {
 	if o.Measure < 1 {
 		o.Measure = 1
 	}
-	if o.Parallelism < 1 {
-		o.Parallelism = 1
-	}
+	o.Parallelism = runner.Workers(o.Parallelism)
 	return o
 }
+
+// perturbSeedStride spaces the perturbed-run seeds; campaign seed
+// ranges reuse it so migrated experiments expand to identical grids.
+const perturbSeedStride = 7919
 
 // perturbed returns the i-th perturbed copy of p: a distinct seed and a
 // small pseudo-random memory-latency jitter (Alameldeen methodology).
 func perturbed(p config.Params, o Options, i int) config.Params {
-	p.Seed = o.BaseSeed + uint64(i)*7919
+	p.Seed = o.BaseSeed + uint64(i)*perturbSeedStride
 	p.LatencyPerturbation = 4
 	return p
 }

@@ -1,7 +1,9 @@
 package harness
 
 import (
+	"safetynet/internal/campaign"
 	"safetynet/internal/config"
+	"safetynet/internal/scenario"
 	"safetynet/internal/stats"
 	"safetynet/internal/workload"
 )
@@ -16,26 +18,42 @@ import (
 
 var protocolNames = []string{config.ProtocolDirectory, config.ProtocolSnoop}
 
+// protocolsCampaign declares the experiment as a campaign: the
+// workload × protocol matrix over a protected base scenario, with the
+// perturbed-run replication expressed as a seed range.
+func protocolsCampaign(o Options) *campaign.Campaign {
+	protected := true
+	perturb := uint64(4)
+	wlAxis := campaign.Axis{Name: "workload"}
+	for _, wl := range workload.PaperWorkloads() {
+		wlAxis.Points = append(wlAxis.Points, campaign.AxisPoint{Label: wl, Workload: wl})
+	}
+	protoAxis := campaign.Axis{Name: "protocol"}
+	for _, proto := range protocolNames {
+		p := proto
+		protoAxis.Points = append(protoAxis.Points, campaign.AxisPoint{
+			Label: proto, Overrides: &scenario.Overrides{Protocol: &p},
+		})
+	}
+	return &campaign.Campaign{
+		Name: "protocols",
+		Base: scenario.Scenario{
+			Workload:      workload.PaperWorkloads()[0],
+			WarmupCycles:  uint64(o.Warmup),
+			MeasureCycles: uint64(o.Measure),
+			Overrides: &scenario.Overrides{
+				SafetyNetEnabled:    &protected,
+				LatencyPerturbation: &perturb,
+			},
+		},
+		Axes:  []campaign.Axis{wlAxis, protoAxis},
+		Seeds: &campaign.SeedRange{Start: o.BaseSeed, Count: o.Runs, Stride: perturbSeedStride},
+	}
+}
+
 // protocolsGrid expands workload x protocol x perturbed-run points.
 func protocolsGrid(base config.Params, o Options) []Point {
-	var pts []Point
-	for _, wl := range workload.PaperWorkloads() {
-		for _, proto := range protocolNames {
-			for i := 0; i < o.Runs; i++ {
-				p := perturbed(base, o, i)
-				p.Protocol = proto
-				p.SafetyNetEnabled = true
-				pts = append(pts, Point{
-					Labels: map[string]string{"workload": wl, "protocol": proto},
-					Run: RunConfig{
-						Params: p, Workload: wl,
-						Warmup: o.Warmup, Measure: o.Measure,
-					},
-				})
-			}
-		}
-	}
-	return pts
+	return campaignPoints(protocolsCampaign(o), base)
 }
 
 // protocolsCell aggregates one (workload, protocol) design point.

@@ -1,8 +1,10 @@
 package harness
 
 import (
+	"safetynet/internal/campaign"
 	"safetynet/internal/config"
 	"safetynet/internal/fault"
+	"safetynet/internal/scenario"
 	"safetynet/internal/stats"
 )
 
@@ -20,14 +22,13 @@ type RecoveryResult struct {
 
 const recoveryWorkload = "oltp"
 
-// recoveryGrid runs the same OLTP configuration twice: fault-free, and
-// under periodic transient faults.
-func recoveryGrid(base config.Params, o Options) []Point {
-	p := perturbed(base, o, 0)
-	p.SafetyNetEnabled = true
-	rc := RunConfig{Params: p, Workload: recoveryWorkload, Warmup: o.Warmup, Measure: o.Measure}
-	clean := Point{Labels: map[string]string{"scenario": "fault-free"}, Run: rc}
-	faulty := Point{Labels: map[string]string{"scenario": "faulty"}, Run: rc}
+// recoveryCampaign declares the experiment as a campaign: one protected
+// OLTP base scenario with two fault-plan variants — the fault-free
+// control arm and periodic transient drops. The campaign layer owns
+// expansion and labeling; the experiment keeps only its reduce step.
+func recoveryCampaign(o Options) *campaign.Campaign {
+	protected := true
+	perturb := uint64(4)
 	// Clamp the derived period: integer division of a tiny measurement
 	// window would otherwise build a zero-period plan that fails at arm
 	// time.
@@ -35,14 +36,34 @@ func recoveryGrid(base config.Params, o Options) []Point {
 	if period < 1 {
 		period = 1
 	}
-	faulty.Run.Fault = fault.Plan{fault.DropEvery{Start: o.Warmup, Period: period}}
-	return []Point{clean, faulty}
+	return &campaign.Campaign{
+		Name: "recovery",
+		Base: scenario.Scenario{
+			Workload:      recoveryWorkload,
+			WarmupCycles:  uint64(o.Warmup),
+			MeasureCycles: uint64(o.Measure),
+			Overrides: &scenario.Overrides{
+				SafetyNetEnabled:    &protected,
+				LatencyPerturbation: &perturb,
+			},
+		},
+		Variants: []campaign.Variant{
+			{Name: "fault-free"},
+			{Name: "faulty", Faults: fault.Plan{fault.DropEvery{Start: o.Warmup, Period: period}}},
+		},
+		Seeds: &campaign.SeedRange{Start: o.BaseSeed, Count: 1, Stride: perturbSeedStride},
+	}
+}
+
+// recoveryGrid expands the campaign into the two design points.
+func recoveryGrid(base config.Params, o Options) []Point {
+	return campaignPoints(recoveryCampaign(o), base)
 }
 
 func recoveryFold(pts []Point, res []RunResult) *RecoveryResult {
 	r := &RecoveryResult{Workload: recoveryWorkload}
 	for i, pt := range pts {
-		if pt.Label("scenario") == "fault-free" {
+		if pt.Label(campaign.LabelVariant) == "fault-free" {
 			r.IPCFaultFree = res[i].IPC
 			continue
 		}
@@ -61,6 +82,7 @@ func recoveryFold(pts []Point, res []RunResult) *RecoveryResult {
 // Recovery injects periodic transient faults into an OLTP run and
 // measures recovery latency and lost work.
 func Recovery(base config.Params, o Options) *RecoveryResult {
+	o = o.sanitized()
 	pts := recoveryGrid(base, o)
 	return recoveryFold(pts, RunPoints(pts, o.Parallelism))
 }

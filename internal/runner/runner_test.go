@@ -1,0 +1,104 @@
+package runner
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"safetynet/internal/backend"
+	"safetynet/internal/config"
+	"safetynet/internal/fault"
+)
+
+// TestWorkersSanitization: the one shared sanitization path — zero and
+// negative worker counts mean one worker per available CPU, positive
+// counts are literal.
+func TestWorkersSanitization(t *testing.T) {
+	gomaxprocs := runtime.GOMAXPROCS(0)
+	cases := map[int]int{
+		0:   gomaxprocs,
+		-1:  gomaxprocs,
+		-99: gomaxprocs,
+		1:   1,
+		7:   7,
+		128: 128,
+	}
+	for in, want := range cases {
+		if got := Workers(in); got != want {
+			t.Errorf("Workers(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func testRuns(n int) []RunConfig {
+	rcs := make([]RunConfig, n)
+	for i := range rcs {
+		p := config.Default()
+		p.Seed = uint64(1 + i)
+		rcs[i] = RunConfig{Params: p, Workload: "barnes", Warmup: 40_000, Measure: 120_000}
+	}
+	return rcs
+}
+
+// TestRunAllDeterministicAcrossWorkerCounts: results arrive in input
+// order and are bit-identical at any parallelism, including the
+// sanitized "0 means all CPUs" path.
+func TestRunAllDeterministicAcrossWorkerCounts(t *testing.T) {
+	rcs := testRuns(4)
+	serial := RunAll(rcs, 1)
+	for _, workers := range []int{0, 2, 8} {
+		if got := RunAll(rcs, workers); !reflect.DeepEqual(serial, got) {
+			t.Fatalf("RunAll(workers=%d) diverged from serial", workers)
+		}
+	}
+}
+
+// TestRunAllStreamCompletion: the completion callback fires exactly once
+// per run with that run's finished result, and the returned slice is
+// still input-ordered.
+func TestRunAllStreamCompletion(t *testing.T) {
+	rcs := testRuns(5)
+	seen := map[int]RunResult{}
+	res := RunAllStream(rcs, 3, func(i int, r RunResult) {
+		if _, dup := seen[i]; dup {
+			t.Errorf("run %d completed twice", i)
+		}
+		seen[i] = r
+	})
+	if len(seen) != len(rcs) {
+		t.Fatalf("callback fired %d times, want %d", len(seen), len(rcs))
+	}
+	for i, r := range res {
+		if !reflect.DeepEqual(seen[i], r) {
+			t.Errorf("run %d: streamed result differs from returned slice", i)
+		}
+		if r.Crashed || r.Instrs == 0 {
+			t.Errorf("run %d made no progress: %+v", i, r)
+		}
+	}
+}
+
+// TestRunObserverHooks: an observer attached to the run config sees the
+// armed fault fire and the recovery complete.
+func TestRunObserverHooks(t *testing.T) {
+	var faults, recoveries int
+	rc := RunConfig{
+		Params: config.Default(), Workload: "barnes",
+		Warmup: 50_000, Measure: 500_000,
+		Fault: fault.Plan{fault.DropOnce{At: 200_000}},
+		Observer: &backend.Observer{
+			FaultFired:        func(uint64, string) { faults++ },
+			RecoveryCompleted: func(uint64, uint32, uint64) { recoveries++ },
+		},
+	}
+	res := Run(rc)
+	if res.Crashed {
+		t.Fatalf("run crashed: %s", res.CrashCause)
+	}
+	if faults == 0 {
+		t.Fatal("observer saw no fault firing")
+	}
+	if recoveries == 0 {
+		t.Fatal("observer saw no recovery")
+	}
+}

@@ -122,6 +122,51 @@ func (o *Overrides) apply(p config.Params) config.Params {
 	return p
 }
 
+// Merge overlays every non-nil field of over onto a copy of o,
+// returning the merged set; over's fields win where both are set.
+// Either receiver or argument may be nil: nil merges as "no overrides",
+// and the result is nil only when both are. The campaign engine uses
+// this to stack axis-point overrides onto a base scenario.
+func (o *Overrides) Merge(over *Overrides) *Overrides {
+	if over == nil {
+		if o == nil {
+			return nil
+		}
+		out := *o
+		return &out
+	}
+	if o == nil {
+		out := *over
+		return &out
+	}
+	out := *o
+	ov := reflect.ValueOf(*over)
+	rv := reflect.ValueOf(&out).Elem()
+	for i := 0; i < ov.NumField(); i++ {
+		if f := ov.Field(i); !f.IsNil() {
+			rv.Field(i).Set(f)
+		}
+	}
+	return &out
+}
+
+// FieldsSet returns the names of the overridden (non-nil) fields, in
+// declaration order; nil reports none. Campaign validation uses it to
+// reject two axes scripting the same parameter.
+func (o *Overrides) FieldsSet() []string {
+	if o == nil {
+		return nil
+	}
+	var set []string
+	ov := reflect.ValueOf(*o)
+	for i := 0; i < ov.NumField(); i++ {
+		if !ov.Field(i).IsNil() {
+			set = append(set, ov.Type().Field(i).Name)
+		}
+	}
+	return set
+}
+
 // Expect states the outcome a scenario run must produce. The zero value
 // demands a fault-free-looking run: no crash, any number of recoveries.
 type Expect struct {
@@ -153,7 +198,15 @@ func (e *Expect) Check(crashed bool, recoveries int) error {
 // overrides applied, dependent parameters normalized, and the result
 // validated.
 func (s *Scenario) Params() (config.Params, error) {
-	p := s.Overrides.apply(config.Default()).Normalize()
+	return s.ParamsFrom(config.Default())
+}
+
+// ParamsFrom assembles the run's configuration over an arbitrary base
+// instead of the Table 2 defaults: overrides applied, dependent
+// parameters normalized, result validated. The experiment harness uses
+// it so campaign-defined grids honor the caller's base configuration.
+func (s *Scenario) ParamsFrom(base config.Params) (config.Params, error) {
+	p := s.Overrides.apply(base).Normalize()
 	if err := p.Validate(); err != nil {
 		return p, err
 	}

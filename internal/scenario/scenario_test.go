@@ -238,6 +238,65 @@ func TestOverridesApply(t *testing.T) {
 	}
 }
 
+// TestParamsFrom: overrides assemble over an arbitrary base, not just
+// the Table 2 defaults, so campaign-defined experiment grids honor the
+// caller's configuration.
+func TestParamsFrom(t *testing.T) {
+	base := config.Default()
+	base.CLBBytes = 128 << 10
+	base.Seed = 77
+	s := &Scenario{
+		Workload:      "oltp",
+		MeasureCycles: 1_000,
+		Overrides:     &Overrides{Seed: ptr(uint64(5))},
+	}
+	p, err := s.ParamsFrom(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 5 {
+		t.Fatalf("override not applied: seed = %d", p.Seed)
+	}
+	if p.CLBBytes != 128<<10 {
+		t.Fatalf("base not honored: CLBBytes = %d", p.CLBBytes)
+	}
+}
+
+func TestOverridesMerge(t *testing.T) {
+	a := &Overrides{Seed: ptr(uint64(1)), CLBBytes: ptr(64 << 10)}
+	b := &Overrides{Seed: ptr(uint64(2)), NumNodes: ptr(8)}
+	m := a.Merge(b)
+	if *m.Seed != 2 || *m.CLBBytes != 64<<10 || *m.NumNodes != 8 {
+		t.Fatalf("merge = %+v", m)
+	}
+	// The inputs' own field sets are untouched (field pointers are
+	// shared — overrides are treated as immutable once built).
+	if *a.Seed != 1 || a.NumNodes != nil {
+		t.Fatalf("Merge mutated the receiver: %+v", a)
+	}
+
+	if got := (*Overrides)(nil).Merge(nil); got != nil {
+		t.Fatalf("nil.Merge(nil) = %+v, want nil", got)
+	}
+	if got := (*Overrides)(nil).Merge(b); got == nil || *got.Seed != 2 {
+		t.Fatalf("nil.Merge(b) = %+v", got)
+	}
+	if got := a.Merge(nil); got == nil || *got.Seed != 1 {
+		t.Fatalf("a.Merge(nil) = %+v", got)
+	}
+}
+
+func TestOverridesFieldsSet(t *testing.T) {
+	if got := (*Overrides)(nil).FieldsSet(); got != nil {
+		t.Fatalf("nil FieldsSet = %v", got)
+	}
+	o := &Overrides{Seed: ptr(uint64(1)), Protocol: ptr(config.ProtocolSnoop)}
+	got := o.FieldsSet()
+	if !reflect.DeepEqual(got, []string{"Protocol", "Seed"}) {
+		t.Fatalf("FieldsSet = %v (declaration order expected)", got)
+	}
+}
+
 func TestExpectCheck(t *testing.T) {
 	var nilExp *Expect
 	if err := nilExp.Check(true, 0); err != nil {

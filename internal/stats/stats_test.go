@@ -103,6 +103,139 @@ func TestStddevProperties(t *testing.T) {
 	}
 }
 
+func TestPercentile(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{15, 20, 35, 40, 50} {
+		s.Add(v)
+	}
+	cases := map[float64]float64{
+		0:   15,
+		25:  20,
+		50:  35,
+		75:  40,
+		100: 50,
+		40:  29, // rank 1.6 between 20 and 35
+	}
+	for p, want := range cases {
+		if got := s.Percentile(p); math.Abs(got-want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", p, got, want)
+		}
+	}
+	if s.Median() != 35 {
+		t.Errorf("Median = %v, want 35", s.Median())
+	}
+	// Out-of-range p clamps instead of extrapolating.
+	if s.Percentile(-10) != 15 || s.Percentile(200) != 50 {
+		t.Error("out-of-range percentile must clamp")
+	}
+}
+
+func TestPercentileEdgeCases(t *testing.T) {
+	var empty Sample
+	if empty.Percentile(50) != 0 || empty.Median() != 0 {
+		t.Fatal("empty sample percentile must be 0")
+	}
+	one := Sample{}
+	one.Add(7)
+	for _, p := range []float64{0, 50, 100} {
+		if one.Percentile(p) != 7 {
+			t.Fatalf("n=1 Percentile(%v) = %v, want 7", p, one.Percentile(p))
+		}
+	}
+	equal := Sample{}
+	for i := 0; i < 5; i++ {
+		equal.Add(3.5)
+	}
+	if equal.Percentile(5) != 3.5 || equal.Percentile(95) != 3.5 {
+		t.Fatal("all-equal sample percentiles must equal the value")
+	}
+	// Percentile must not mutate the insertion order Values reports.
+	unsorted := Sample{}
+	for _, v := range []float64{3, 1, 2} {
+		unsorted.Add(v)
+	}
+	unsorted.Percentile(50)
+	if vals := unsorted.Values(); vals[0] != 3 || vals[1] != 1 || vals[2] != 2 {
+		t.Fatalf("Percentile reordered the sample: %v", vals)
+	}
+}
+
+func TestBootstrapCI(t *testing.T) {
+	if lo, hi := BootstrapCI(nil, 0.95); lo != 0 || hi != 0 {
+		t.Fatalf("empty CI = (%v, %v), want (0, 0)", lo, hi)
+	}
+	if lo, hi := BootstrapCI([]float64{4.2}, 0.95); lo != 4.2 || hi != 4.2 {
+		t.Fatalf("n=1 CI = (%v, %v), want (4.2, 4.2)", lo, hi)
+	}
+	if lo, hi := BootstrapCI([]float64{2, 2, 2, 2}, 0.95); lo != 2 || hi != 2 {
+		t.Fatalf("all-equal CI = (%v, %v), want (2, 2)", lo, hi)
+	}
+
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	lo, hi := BootstrapCI(vals, 0.95)
+	if math.IsNaN(lo) || math.IsNaN(hi) {
+		t.Fatal("CI must be NaN-free")
+	}
+	if lo >= hi {
+		t.Fatalf("CI = (%v, %v): lower bound must be below upper", lo, hi)
+	}
+	mean := 5.5
+	if lo > mean || hi < mean {
+		t.Fatalf("CI (%v, %v) must bracket the sample mean %v", lo, hi, mean)
+	}
+	if lo < 1 || hi > 10 {
+		t.Fatalf("CI (%v, %v) outside the data range", lo, hi)
+	}
+
+	// Deterministic: identical inputs give identical intervals.
+	lo2, hi2 := BootstrapCI(vals, 0.95)
+	if lo != lo2 || hi != hi2 {
+		t.Fatal("BootstrapCI is not deterministic")
+	}
+
+	// A wider confidence level gives a wider (or equal) interval.
+	lo99, hi99 := BootstrapCI(vals, 0.99)
+	if hi99-lo99 < hi-lo {
+		t.Fatalf("99%% CI (%v, %v) narrower than 95%% CI (%v, %v)", lo99, hi99, lo, hi)
+	}
+
+	// Degenerate conf falls back to 95% instead of collapsing.
+	loD, hiD := BootstrapCI(vals, 0)
+	if loD != lo || hiD != hi {
+		t.Fatal("conf=0 must fall back to the 95% default")
+	}
+}
+
+// TestSummarizeNaNFree: every field of the summary is finite for the
+// empty sample, a single observation, and an all-equal sample.
+func TestSummarizeNaNFree(t *testing.T) {
+	samples := map[string]*Sample{
+		"empty":     {},
+		"single":    {},
+		"all-equal": {},
+	}
+	samples["single"].Add(3)
+	for i := 0; i < 4; i++ {
+		samples["all-equal"].Add(1.5)
+	}
+	for name, s := range samples {
+		sum := s.Summarize()
+		for field, v := range map[string]float64{
+			"Mean": sum.Mean, "Stddev": sum.Stddev, "Min": sum.Min, "Max": sum.Max,
+			"Median": sum.Median, "P5": sum.P5, "P95": sum.P95, "CILo": sum.CILo, "CIHi": sum.CIHi,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("%s: Summary.%s = %v, want finite", name, field, v)
+			}
+		}
+	}
+	s := samples["single"]
+	sum := s.Summarize()
+	if sum.N != 1 || sum.Mean != 3 || sum.Median != 3 || sum.CILo != 3 || sum.CIHi != 3 {
+		t.Fatalf("single-observation summary = %+v", sum)
+	}
+}
+
 func TestPct(t *testing.T) {
 	if got := Pct(1, 0); got != "n/a" {
 		t.Fatalf("Pct(1,0) = %q", got)
