@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"safetynet"
+)
+
+// testCampaignJSON is a small 4-run campaign the CLI tests execute in
+// a couple of seconds.
+const testCampaignJSON = `{
+  "name": "cli-test",
+  "base": {
+    "workload": "barnes",
+    "warmup_cycles": 30000,
+    "measure_cycles": 100000
+  },
+  "axes": [
+    {
+      "name": "interval",
+      "points": [
+        {"label": "50k", "overrides": {"checkpoint_interval_cycles": 50000}},
+        {"label": "100k", "overrides": {"checkpoint_interval_cycles": 100000}}
+      ]
+    }
+  ],
+  "seeds": {"start": 1, "count": 2}
+}
+`
+
+func writeCampaign(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "campaign.json")
+	if err := os.WriteFile(path, []byte(testCampaignJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestVerboseJSONStdoutParses: the stderr-hygiene regression — with
+// -format json -v (and -events) every byte of narration goes to
+// stderr, so stdout is one parseable JSON document.
+func TestVerboseJSONStdoutParses(t *testing.T) {
+	path := writeCampaign(t)
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), []string{"-format", "json", "-v", "-events", "-j", "2", path}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	var rep struct {
+		Campaign string `json:"campaign"`
+		Runs     int    `json:"runs"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("stdout is not one JSON document: %v\n--- stdout ---\n%s", err, stdout.String())
+	}
+	if rep.Campaign != "cli-test" || rep.Runs != 4 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if !strings.Contains(stderr.String(), "[4/4]") {
+		t.Fatalf("progress narration missing from stderr:\n%s", stderr.String())
+	}
+}
+
+// TestSubmitMatchesLocal: the -submit path runs the campaign on an
+// in-process snserved daemon and prints byte-identical stdout to a
+// local -j 1 run, in every format.
+func TestSubmitMatchesLocal(t *testing.T) {
+	path := writeCampaign(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		safetynet.ServeListener(ctx, ln, safetynet.ServeOptions{
+			StoreDir: t.TempDir(), Workers: 2,
+		})
+	}()
+	defer func() { cancel(); <-done }()
+	base := "http://" + ln.Addr().String()
+
+	for _, format := range []string{"text", "json", "csv"} {
+		var localOut, localErr, remoteOut, remoteErr bytes.Buffer
+		if code := run(context.Background(), []string{"-format", format, "-j", "1", path}, &localOut, &localErr); code != 0 {
+			t.Fatalf("local %s: exit %d, stderr:\n%s", format, code, localErr.String())
+		}
+		if code := run(context.Background(), []string{"-submit", base, "-format", format, "-v", path}, &remoteOut, &remoteErr); code != 0 {
+			t.Fatalf("submit %s: exit %d, stderr:\n%s", format, code, remoteErr.String())
+		}
+		if !bytes.Equal(localOut.Bytes(), remoteOut.Bytes()) {
+			t.Fatalf("%s: served stdout differs from local run:\n--- local ---\n%s\n--- served ---\n%s",
+				format, localOut.String(), remoteOut.String())
+		}
+		if !strings.Contains(remoteErr.String(), "submitted") {
+			t.Fatalf("submit narration missing from stderr:\n%s", remoteErr.String())
+		}
+	}
+}
+
+// TestSubmitRejectsEvents: -events is a local observer; combined with
+// -submit it must fail loudly instead of silently doing nothing.
+func TestSubmitRejectsEvents(t *testing.T) {
+	path := writeCampaign(t)
+	var stdout, stderr bytes.Buffer
+	if code := run(context.Background(), []string{"-submit", "http://localhost:1", "-events", path}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "-events") {
+		t.Fatalf("missing explanation:\n%s", stderr.String())
+	}
+}

@@ -9,6 +9,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -122,26 +123,67 @@ func snapshot(m *machine.Machine) counters {
 	return c
 }
 
+// cancelStride is how far RunCtx advances the engine between context
+// checks. It bounds cancellation latency to one stride of simulated
+// work while keeping the check overhead invisible next to the cycles
+// simulated per stride; results are stride-invariant because advancing
+// a discrete-event engine to an absolute time in steps is identical to
+// advancing it in one call.
+const cancelStride = 1 << 16
+
+// runUntil advances the backend to the given absolute cycle in
+// cancelStride steps, checking the context between steps. It returns
+// the context's error when canceled mid-run; a backend that stops
+// early on its own (a crashed unprotected system) ends the loop
+// without error and the caller inspects CrashInfo.
+func runUntil(ctx context.Context, be backend.Backend, until sim.Time) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		now := be.Now()
+		if now >= until {
+			return nil
+		}
+		next := now + cancelStride
+		if next > until {
+			next = until
+		}
+		if reached := be.Run(next); reached < next {
+			return nil // stopped early (crash); caller inspects CrashInfo
+		}
+	}
+}
+
 // Run executes one simulation on the backend the parameters select and
-// returns its measured results. The protocol-neutral counters (IPC,
-// logging, recoveries, traffic) are measured on every backend; the
-// directory machine additionally reports its detailed bandwidth,
-// directory-log, and CLB-occupancy breakdowns.
+// returns its measured results. It is RunCtx with a background context.
 func Run(rc RunConfig) RunResult {
+	r, _ := RunCtx(context.Background(), rc)
+	return r
+}
+
+// RunCtx executes one simulation like Run, checking the context every
+// cancelStride simulated cycles so a canceled context abandons the run
+// mid-flight. On cancellation it returns the context's error and a
+// meaningless result; otherwise the error is nil. The protocol-neutral
+// counters (IPC, logging, recoveries, traffic) are measured on every
+// backend; the directory machine additionally reports its detailed
+// bandwidth, directory-log, and CLB-occupancy breakdowns.
+func RunCtx(ctx context.Context, rc RunConfig) (RunResult, error) {
 	prof, err := workload.ByName(rc.Workload)
 	if err != nil {
 		// Crashed result, not a panic: see the fault-plan comment below.
-		return RunResult{Crashed: true, CrashCause: "invalid configuration: " + err.Error()}
+		return RunResult{Crashed: true, CrashCause: "invalid configuration: " + err.Error()}, nil
 	}
 	be, err := NewBackend(rc.Params, prof)
 	if err != nil {
-		return RunResult{Crashed: true, CrashCause: "invalid configuration: " + err.Error()}
+		return RunResult{Crashed: true, CrashCause: "invalid configuration: " + err.Error()}, nil
 	}
 	if err := rc.Fault.Arm(be.FaultTarget()); err != nil {
 		// Surface an invalid plan as a crashed run rather than panicking:
 		// small-but-legal sizings can produce degenerate plans, and a
 		// panic inside a parallel worker would kill the whole process.
-		return RunResult{Crashed: true, CrashCause: "invalid fault plan: " + err.Error()}
+		return RunResult{Crashed: true, CrashCause: "invalid fault plan: " + err.Error()}, nil
 	}
 	if rc.Observer != nil {
 		be.Observe(rc.Observer)
@@ -149,21 +191,25 @@ func Run(rc RunConfig) RunResult {
 	m, _ := be.(*machine.Machine) // nil for the snoop backend
 
 	be.Start()
-	be.Run(rc.Warmup)
+	if err := runUntil(ctx, be, rc.Warmup); err != nil {
+		return RunResult{}, err
+	}
 	if crashed, cause := be.CrashInfo(); crashed {
-		return RunResult{Crashed: true, CrashCause: cause}
+		return RunResult{Crashed: true, CrashCause: cause}, nil
 	}
 	cBefore := be.Counters()
 	var before counters
 	if m != nil {
 		before = snapshot(m)
 	}
-	be.Run(rc.Warmup + rc.Measure)
+	if err := runUntil(ctx, be, rc.Warmup+rc.Measure); err != nil {
+		return RunResult{}, err
+	}
 	res := RunResult{}
 	if crashed, cause := be.CrashInfo(); crashed {
 		res.Crashed = true
 		res.CrashCause = cause
-		return res
+		return res, nil
 	}
 	cAfter := be.Counters()
 
@@ -180,7 +226,7 @@ func Run(rc RunConfig) RunResult {
 	res.NetDropped = cAfter.MessagesDropped - cBefore.MessagesDropped
 
 	if m == nil {
-		return res
+		return res, nil
 	}
 	after := snapshot(m)
 	res.StoresTotal = after.cs["stores"] - before.cs["stores"]
@@ -212,7 +258,7 @@ func Run(rc RunConfig) RunResult {
 			res.CLBPeakBytes = clb.PeakBytes()
 		}
 	}
-	return res
+	return res, nil
 }
 
 // Workers is the single worker-count sanitization path every sweep
@@ -242,6 +288,16 @@ func RunAll(rcs []RunConfig, workers int) []RunResult {
 // progress state without locking. The returned slice is still in input
 // order regardless of scheduling.
 func RunAllStream(rcs []RunConfig, workers int, onDone func(i int, r RunResult)) []RunResult {
+	res, _ := RunAllStreamCtx(context.Background(), rcs, workers, onDone)
+	return res
+}
+
+// RunAllStreamCtx is RunAllStream under a context: a canceled context
+// stops dispatching queued runs and abandons in-flight ones at the next
+// stride check (see RunCtx), then returns the context's error with the
+// partial results (canceled runs hold the zero RunResult and fire no
+// callback). With a background context it is exactly RunAllStream.
+func RunAllStreamCtx(ctx context.Context, rcs []RunConfig, workers int, onDone func(i int, r RunResult)) ([]RunResult, error) {
 	res := make([]RunResult, len(rcs))
 	workers = Workers(workers)
 	if workers > len(rcs) {
@@ -258,10 +314,14 @@ func RunAllStream(rcs []RunConfig, workers int, onDone func(i int, r RunResult))
 	}
 	if workers <= 1 {
 		for i := range rcs {
-			res[i] = Run(rcs[i])
+			r, err := RunCtx(ctx, rcs[i])
+			if err != nil {
+				return res, err
+			}
+			res[i] = r
 			done(i)
 		}
-		return res
+		return res, nil
 	}
 	idx := make(chan int)
 	var wg sync.WaitGroup
@@ -270,15 +330,25 @@ func RunAllStream(rcs []RunConfig, workers int, onDone func(i int, r RunResult))
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				res[i] = Run(rcs[i])
+				r, err := RunCtx(ctx, rcs[i])
+				if err != nil {
+					continue // canceled; keep draining without running
+				}
+				res[i] = r
 				done(i)
 			}
 		}()
 	}
 	for i := range rcs {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			close(idx)
+			wg.Wait()
+			return res, ctx.Err()
+		}
 	}
 	close(idx)
 	wg.Wait()
-	return res
+	return res, ctx.Err()
 }

@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"reflect"
 	"runtime"
 	"testing"
@@ -100,5 +101,53 @@ func TestRunObserverHooks(t *testing.T) {
 	}
 	if recoveries == 0 {
 		t.Fatal("observer saw no recovery")
+	}
+}
+
+// TestRunCtxCanceledMidRun: a context canceled while a run is in
+// flight abandons it at the next stride check instead of simulating to
+// the horizon, and a pre-canceled context never starts the engine.
+func TestRunCtxCanceledMidRun(t *testing.T) {
+	rc := testRuns(1)[0]
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunCtx(ctx, rc); err != context.Canceled {
+		t.Fatalf("pre-canceled RunCtx err = %v, want context.Canceled", err)
+	}
+	// A background context reproduces Run exactly (the strided stepping
+	// must be invisible in the results).
+	want := Run(rc)
+	got, err := RunCtx(context.Background(), rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("RunCtx(Background) diverged from Run")
+	}
+}
+
+// TestRunAllStreamCtxCancellation: canceling the pool context stops
+// dispatch, abandons in-flight runs, fires no callback for them, and
+// surfaces context.Canceled — on both the serial and the sharded path.
+func TestRunAllStreamCtxCancellation(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		rcs := testRuns(6)
+		ctx, cancel := context.WithCancel(context.Background())
+		fired := 0
+		_, err := RunAllStreamCtx(ctx, rcs, workers, func(i int, r RunResult) {
+			fired++
+			if fired == 1 {
+				cancel() // cancel as soon as the first run completes
+			}
+			if r.Crashed {
+				t.Errorf("workers=%d: completed run %d reported a crash: %s", workers, i, r.CrashCause)
+			}
+		})
+		if err != context.Canceled {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if fired == 0 || fired == len(rcs) {
+			t.Fatalf("workers=%d: %d callbacks fired; cancellation should stop the pool partway", workers, fired)
+		}
 	}
 }

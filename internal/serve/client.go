@@ -1,0 +1,226 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client talks to a snserved daemon. The zero HTTPClient means
+// http.DefaultClient.
+type Client struct {
+	// BaseURL is the daemon address, e.g. "http://localhost:8321".
+	BaseURL string
+	// HTTPClient overrides the transport (tests inject
+	// httptest.Server.Client()).
+	HTTPClient *http.Client
+}
+
+// NewClient builds a client for the daemon at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// apiError decodes the daemon's {"error": ...} body into a Go error.
+func apiError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 64*1024))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("snserved: %s (HTTP %d)", e.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("snserved: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+}
+
+// Submit posts one campaign document (canonical JSON) and returns the
+// accepted job's status. scaleTo > 0 asks the daemon to shrink every
+// run to that horizon (the sncampaign -short path).
+func (c *Client) Submit(ctx context.Context, campaignJSON []byte, scaleTo uint64) (JobStatus, error) {
+	u := c.BaseURL + "/campaigns"
+	if scaleTo > 0 {
+		u += "?scale_to=" + strconv.FormatUint(scaleTo, 10)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(campaignJSON))
+	if err != nil {
+		return JobStatus{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return JobStatus{}, apiError(resp)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return JobStatus{}, fmt.Errorf("snserved: decoding submit response: %w", err)
+	}
+	return st, nil
+}
+
+// Status fetches one job's status.
+func (c *Client) Status(ctx context.Context, id string) (JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.BaseURL+"/campaigns/"+url.PathEscape(id), nil)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return JobStatus{}, apiError(resp)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return JobStatus{}, fmt.Errorf("snserved: decoding status: %w", err)
+	}
+	return st, nil
+}
+
+// Report fetches a finished job's report in the given format ("text",
+// "json" or "csv"; "" means text). The bytes are exactly what a local
+// sncampaign run prints to stdout.
+func (c *Client) Report(ctx context.Context, id, format string) ([]byte, error) {
+	u := c.BaseURL + "/campaigns/" + url.PathEscape(id) + "/report"
+	if format != "" {
+		u += "?format=" + url.QueryEscape(format)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Events subscribes to a job's SSE stream from the given sequence
+// index, invoking fn for every run completion in stream order until
+// the terminal frame arrives (returned) or ctx ends. A nil fn just
+// waits for the end of the stream, which makes Events double as
+// "block until the job finishes".
+func (c *Client) Events(ctx context.Context, id string, from int, fn func(Event)) (End, error) {
+	u := fmt.Sprintf("%s/campaigns/%s/events?from=%d", c.BaseURL, url.PathEscape(id), from)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return End{}, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return End{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return End{}, apiError(resp)
+	}
+	var (
+		event string
+		data  bytes.Buffer
+	)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	dispatch := func() (End, bool, error) {
+		defer func() { event = ""; data.Reset() }()
+		switch event {
+		case "run":
+			var e Event
+			if err := json.Unmarshal(data.Bytes(), &e); err != nil {
+				return End{}, false, fmt.Errorf("snserved: decoding run event: %w", err)
+			}
+			if fn != nil {
+				fn(e)
+			}
+		case "end":
+			var end End
+			if err := json.Unmarshal(data.Bytes(), &end); err != nil {
+				return End{}, false, fmt.Errorf("snserved: decoding end event: %w", err)
+			}
+			return end, true, nil
+		}
+		return End{}, false, nil
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			end, final, err := dispatch()
+			if err != nil || final {
+				return end, err
+			}
+		case strings.HasPrefix(line, "event:"):
+			event = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+		case strings.HasPrefix(line, "data:"):
+			data.WriteString(strings.TrimSpace(strings.TrimPrefix(line, "data:")))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return End{}, err
+	}
+	return End{}, fmt.Errorf("snserved: event stream ended without a terminal frame")
+}
+
+// Wait polls the job until it leaves the queued/running states,
+// returning its final status.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (JobStatus, error) {
+	if poll <= 0 {
+		poll = 250 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return JobStatus{}, err
+		}
+		if st.State == StateDone || st.State == StateFailed {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Healthy reports whether the daemon answers /healthz.
+func (c *Client) Healthy(ctx context.Context) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}

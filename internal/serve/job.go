@@ -1,0 +1,345 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"safetynet/internal/campaign"
+	"safetynet/internal/runner"
+)
+
+// Job is one submitted campaign's runtime state: the persisted meta,
+// the event hub, and the per-shard progress counters the metrics
+// endpoint exports. The store is the source of truth; Job is the
+// in-memory view one daemon lifetime keeps.
+type Job struct {
+	mu   sync.Mutex
+	meta Meta
+	hub  *hub
+	// shardDone/shardTotal are per-shard progress while running (nil
+	// otherwise).
+	shardDone  []int
+	shardTotal []int
+	// reports caches encoded reports by format once the job is done
+	// (they are immutable from then on).
+	reports map[string][]byte
+	// replayed marks that the hub already carries the checkpointed
+	// history (set by the executor's resume replay, or by a lazy replay
+	// for jobs found already finished on open).
+	replayed bool
+}
+
+func newJob(m Meta) *Job {
+	return &Job{meta: m, hub: newHub(), reports: map[string][]byte{}}
+}
+
+// Meta returns a copy of the job's current state.
+func (j *Job) Meta() Meta {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.meta
+}
+
+func (j *Job) setMeta(m Meta) {
+	j.mu.Lock()
+	j.meta = m
+	j.mu.Unlock()
+}
+
+// ShardProgress returns copies of the per-shard done/total counters
+// (nil when the job is not running).
+func (j *Job) ShardProgress() (done, total []int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]int(nil), j.shardDone...), append([]int(nil), j.shardTotal...)
+}
+
+// effective returns the campaign the job actually executes: the
+// submitted one, shrunk by the persisted ScaleTo when set — the same
+// campaign.Scaled path sncampaign -short applies locally, so the served
+// report stays byte-identical to the local one.
+func (j *Job) effective(c *campaign.Campaign) *campaign.Campaign {
+	if m := j.Meta(); m.ScaleTo > 0 {
+		return c.Scaled(m.ScaleTo)
+	}
+	return c
+}
+
+// endFrame assembles the terminal stream frame from a finished meta.
+func endFrame(m Meta) End {
+	return End{State: m.State, Runs: m.Runs, Crashes: m.Crashes,
+		ExpectFailures: m.ExpectFailures, Error: m.Error}
+}
+
+// replayRecords publishes already-checkpointed completions onto the
+// hub in expansion-index order — the deterministic replay order after
+// a restart — and returns the results keyed by index.
+func (j *Job) replayRecords(runs []campaign.Run, recs map[int]runner.RunResult) {
+	j.mu.Lock()
+	if j.replayed {
+		j.mu.Unlock()
+		return
+	}
+	j.replayed = true
+	j.mu.Unlock()
+	idxs := make([]int, 0, len(recs))
+	for i := range recs {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	total := len(runs)
+	for _, i := range idxs {
+		j.hub.publish(completionEvent(runs[i], recs[i], total))
+	}
+}
+
+func completionEvent(run campaign.Run, res runner.RunResult, total int) Event {
+	return Event{
+		Index:      run.Index,
+		Desc:       run.Desc,
+		Total:      total,
+		Crashed:    res.Crashed,
+		CrashCause: res.CrashCause,
+		IPC:        res.IPC,
+		Recoveries: res.Recoveries,
+	}
+}
+
+// execute runs one job to completion (or resumption-point), the heart
+// of the daemon: expand deterministically, skip checkpointed runs,
+// fan the rest across shard workers that append to their own
+// checkpoint logs, and reduce the full expansion-order result set into
+// the report. A canceled context returns ctx.Err() with the job left
+// running on disk — the state Open re-enqueues — so a killed daemon
+// resumes instead of restarting.
+func (s *Server) execute(ctx context.Context, j *Job) error {
+	m := j.Meta()
+	c, err := s.store.LoadCampaign(m.ID)
+	if err != nil {
+		return s.failJob(j, err)
+	}
+	cc := j.effective(c)
+	runs, err := cc.Expand()
+	if err != nil {
+		return s.failJob(j, err)
+	}
+	recs, err := s.store.LoadRecords(m.ID)
+	if err != nil {
+		return s.failJob(j, err)
+	}
+	j.replayRecords(runs, recs)
+
+	m.State = StateRunning
+	if err := s.store.SaveMeta(m); err != nil {
+		return s.failJob(j, err)
+	}
+	j.setMeta(m)
+
+	rcs := campaign.RunConfigs(runs, nil)
+	shards := runner.Workers(s.opts.Workers)
+	if shards > len(rcs) {
+		shards = len(rcs)
+	}
+	if shards < 1 {
+		shards = 1
+	}
+
+	// Static round-robin shard assignment: shard k owns every index
+	// ≡ k (mod shards). The assignment is a pure function of the
+	// expansion, so any daemon lifetime (even with a different shard
+	// count) agrees on what remains: records are keyed by index, and
+	// LoadRecords reads every shard log regardless of layout.
+	shardDone := make([]int, shards)
+	shardTotal := make([]int, shards)
+	pending := make([][]int, shards)
+	for i := range rcs {
+		k := i % shards
+		shardTotal[k]++
+		if _, ok := recs[i]; ok {
+			shardDone[k]++
+			continue
+		}
+		pending[k] = append(pending[k], i)
+	}
+	j.mu.Lock()
+	j.shardDone, j.shardTotal = shardDone, shardTotal
+	j.mu.Unlock()
+
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+		resMu    sync.Mutex
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	total := len(rcs)
+	for k := 0; k < shards; k++ {
+		if len(pending[k]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			log, err := s.store.OpenShardLog(m.ID, k, s.opts.CheckpointEvery)
+			if err != nil {
+				fail(err)
+				return
+			}
+			defer log.Close()
+			for _, i := range pending[k] {
+				res, err := runner.RunCtx(ctx, rcs[i])
+				if err != nil {
+					fail(err) // canceled; checkpointed work stays
+					return
+				}
+				// Write-ahead: checkpoint the completion before
+				// announcing it, so no subscriber ever sees a run the
+				// store could forget.
+				if err := log.Append(Record{Index: i, Result: res}); err != nil {
+					fail(err)
+					return
+				}
+				resMu.Lock()
+				recs[i] = res
+				resMu.Unlock()
+				j.mu.Lock()
+				j.shardDone[k]++
+				j.mu.Unlock()
+				s.noteRunDone()
+				j.hub.publish(completionEvent(runs[i], res, total))
+			}
+		}(k)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		if ctx.Err() != nil {
+			// Killed mid-campaign: leave the job running on disk so the
+			// next daemon lifetime resumes it from the checkpoints.
+			return ctx.Err()
+		}
+		return s.failJob(j, firstErr)
+	}
+
+	res := make([]runner.RunResult, total)
+	for i := range res {
+		r, ok := recs[i]
+		if !ok {
+			return s.failJob(j, fmt.Errorf("run %d finished without a checkpoint record", i))
+		}
+		res[i] = r
+	}
+	rep := campaign.Reduce(cc, runs, res)
+	m.State = StateDone
+	m.Crashes = rep.Crashes
+	m.ExpectFailures = len(rep.ExpectFailures)
+	if err := s.store.SaveMeta(m); err != nil {
+		return s.failJob(j, err)
+	}
+	j.mu.Lock()
+	j.meta = m
+	j.shardDone, j.shardTotal = nil, nil
+	j.mu.Unlock()
+	j.hub.finish(endFrame(m))
+	return nil
+}
+
+// failJob marks the job failed on disk and on its stream, returning
+// the original error.
+func (s *Server) failJob(j *Job, err error) error {
+	m := j.Meta()
+	m.State = StateFailed
+	m.Error = err.Error()
+	if serr := s.store.SaveMeta(m); serr != nil {
+		s.logf("job %s: persisting failure: %v", m.ID, serr)
+	}
+	j.mu.Lock()
+	j.meta = m
+	j.shardDone, j.shardTotal = nil, nil
+	j.mu.Unlock()
+	j.hub.finish(endFrame(m))
+	return err
+}
+
+// report builds (and caches) one finished job's encoded report. The
+// reduction re-reads the checkpoint logs, so it works for jobs that
+// finished in a previous daemon lifetime, and the bytes match the
+// local sncampaign pipeline exactly: campaign.Reduce over the
+// deterministic expansion order, Encode in the requested format, plus
+// the trailing newline the CLI prints after JSON.
+func (s *Server) report(j *Job, format string) ([]byte, error) {
+	j.mu.Lock()
+	if b, ok := j.reports[format]; ok {
+		j.mu.Unlock()
+		return b, nil
+	}
+	j.mu.Unlock()
+
+	m := j.Meta()
+	c, err := s.store.LoadCampaign(m.ID)
+	if err != nil {
+		return nil, err
+	}
+	cc := j.effective(c)
+	runs, err := cc.Expand()
+	if err != nil {
+		return nil, err
+	}
+	recs, err := s.store.LoadRecords(m.ID)
+	if err != nil {
+		return nil, err
+	}
+	res := make([]runner.RunResult, len(runs))
+	for i := range res {
+		r, ok := recs[i]
+		if !ok {
+			return nil, fmt.Errorf("job %s: run %d has no checkpoint record", m.ID, i)
+		}
+		res[i] = r
+	}
+	out, err := campaign.Reduce(cc, runs, res).Encode(format)
+	if err != nil {
+		return nil, err
+	}
+	if format == "json" {
+		out += "\n" // match sncampaign, which newline-terminates JSON
+	}
+	b := []byte(out)
+	j.mu.Lock()
+	j.reports[format] = b
+	j.mu.Unlock()
+	return b, nil
+}
+
+// ensureHistory lazily rebuilds the event stream of a job that was
+// already finished when this daemon opened the store, so /events
+// subscribers still get the full replay plus the terminal frame.
+func (s *Server) ensureHistory(j *Job) {
+	m := j.Meta()
+	if m.State != StateDone && m.State != StateFailed {
+		return
+	}
+	j.mu.Lock()
+	replayed := j.replayed
+	j.mu.Unlock()
+	if !replayed {
+		c, err := s.store.LoadCampaign(m.ID)
+		if err == nil {
+			if cc := j.effective(c); cc != nil {
+				if runs, err := cc.Expand(); err == nil {
+					if recs, err := s.store.LoadRecords(m.ID); err == nil {
+						j.replayRecords(runs, recs)
+					}
+				}
+			}
+		}
+	}
+	j.hub.finish(endFrame(m))
+}
