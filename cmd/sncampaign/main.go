@@ -169,6 +169,10 @@ func runRemote(ctx context.Context, c *safetynet.Campaign, baseURL, format strin
 		scaleTo = shortBudgetCycles
 	}
 	cl := safetynet.NewServeClient(baseURL)
+	// Transient dial/5xx failures back off and retry (capped exponential
+	// + jitter) instead of failing the submission on the first hiccup —
+	// a daemon mid-restart is a normal sight in a resumable system.
+	cl.Retry = &safetynet.ServeRetryPolicy{}
 	st, err := cl.Submit(ctx, doc, scaleTo)
 	if err != nil {
 		fmt.Fprintf(stderr, "sncampaign: %v\n", err)

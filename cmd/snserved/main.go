@@ -3,7 +3,11 @@
 // on a sharded worker pool with per-shard completion checkpoints, so a
 // killed-and-restarted daemon resumes mid-campaign and still serves
 // the byte-identical expansion-order report a local sncampaign run
-// would print.
+// would print. Shards are handed out through a fenced lease table:
+// snworker processes pull them over HTTP (heartbeat-kept leases,
+// re-leased on worker death), and with zero live workers the daemon
+// executes in-process — -workers-only disables the in-process
+// fallback, -lease-ttl tunes failure-detection latency.
 //
 //	snserved -addr :8321 -store /var/lib/snserved
 //	curl -X POST --data-binary @examples/campaigns/availability-matrix.json \
@@ -26,6 +30,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"safetynet/internal/serve"
 )
@@ -36,11 +41,13 @@ func main() {
 
 func run() int {
 	var (
-		addr  = flag.String("addr", ":8321", "listen address")
-		store = flag.String("store", "snserved-store", "persistent job-store directory")
-		par   = flag.Int("j", 0, "shard workers per executing job (0 = one per CPU)")
-		ckpt  = flag.Int("checkpoint-every", 1, "completed runs between checkpoint syncs per shard")
-		queue = flag.Int("queue", 64, "maximum queued jobs before submissions get 503")
+		addr        = flag.String("addr", ":8321", "listen address")
+		store       = flag.String("store", "snserved-store", "persistent job-store directory")
+		par         = flag.Int("j", 0, "shards per executing job (0 = one per CPU); also the in-process width")
+		ckpt        = flag.Int("checkpoint-every", 1, "completed runs between checkpoint syncs per shard")
+		queue       = flag.Int("queue", 64, "maximum queued jobs before submissions get 503")
+		leaseTTL    = flag.Duration("lease-ttl", 15*time.Second, "shard lease time-to-live; a worker missing heartbeats this long loses its shard")
+		workersOnly = flag.Bool("workers-only", false, "never execute shards in-process; hand them out to pulling snworker processes only")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -54,6 +61,8 @@ func run() int {
 		Workers:         *par,
 		CheckpointEvery: *ckpt,
 		MaxQueue:        *queue,
+		LeaseTTL:        *leaseTTL,
+		WorkersOnly:     *workersOnly,
 		Logf:            logger.Printf,
 	})
 	if err != nil {

@@ -1,0 +1,53 @@
+#!/usr/bin/env sh
+# Fan one campaign out across snworker processes: start a workers-only
+# snserved daemon, attach two pull workers, submit a campaign, and
+# print the report — byte-identical to a local `sncampaign` run of the
+# same file.
+#
+#   examples/serve/workers.sh
+#   examples/serve/workers.sh 127.0.0.1:8321 examples/campaigns/interval-sweep.json
+#
+# The chaos experiment to try while the completions stream: `kill -9`
+# one of the snworker PIDs it prints. Its shard lease expires after
+# -lease-ttl, the shard re-leases to the surviving worker at a higher
+# fencing token (only the unexecuted runs re-offered), and the final
+# report does not change by a byte. The CI chaos-smoke job does exactly
+# this, mechanically.
+set -eu
+
+ADDR="${1:-127.0.0.1:8321}"
+CAMPAIGN="${2:-examples/campaigns/availability-matrix.json}"
+BASE="http://$ADDR"
+WORK=$(mktemp -d)
+
+[ -f "$CAMPAIGN" ] || { echo "no such campaign file: $CAMPAIGN" >&2; exit 1; }
+
+echo "== building snserved, snworker, sncampaign" >&2
+go build -o "$WORK/snserved" ./cmd/snserved
+go build -o "$WORK/snworker" ./cmd/snworker
+go build -o "$WORK/sncampaign" ./cmd/sncampaign
+
+PIDS=""
+cleanup() { kill $PIDS 2>/dev/null || true; }
+trap cleanup EXIT INT TERM
+
+"$WORK/snserved" -addr "$ADDR" -store "$WORK/store" -workers-only -lease-ttl 5s &
+PIDS="$!"
+for i in $(seq 100); do
+  curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+
+"$WORK/snworker" -addr "$BASE" -id w1 &
+PIDS="$PIDS $!"
+echo "== worker w1 pid $!" >&2
+"$WORK/snworker" -addr "$BASE" -id w2 &
+PIDS="$PIDS $!"
+echo "== worker w2 pid $!" >&2
+
+echo "== submitting $CAMPAIGN (short-scaled)" >&2
+"$WORK/sncampaign" -submit "$BASE" -short -v "$CAMPAIGN"
+
+echo "== lease metrics" >&2
+curl -fsS "$BASE/metrics" |
+  grep -E 'snserved_(workers_live|leases_granted_total|leases_expired_total|releases_total)' >&2

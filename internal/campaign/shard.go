@@ -1,0 +1,41 @@
+package campaign
+
+import "safetynet/internal/runner"
+
+// Shard assignment is the unit of hand-off between every executor of an
+// expanded campaign: the local worker pool, the serving daemon's
+// checkpoint logs, and remote snworker processes all agree on it
+// because it is a pure function of the expansion — no coordination, no
+// persisted layout. Shard k owns every expansion index ≡ k (mod
+// shards), so records keyed by index reduce identically regardless of
+// which process (or which daemon lifetime, at which shard count)
+// produced them.
+
+// Shards sanitizes a requested shard count for n runs: zero and
+// negative widths mean one shard per available CPU (the shared
+// runner.Workers path), and the result is clamped to [1, n] so no
+// shard is ever empty by construction.
+func Shards(workers, runs int) int {
+	s := runner.Workers(workers)
+	if s > runs {
+		s = runs
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// ShardOf returns the shard that owns expansion index i under the
+// static round-robin assignment.
+func ShardOf(i, shards int) int { return i % shards }
+
+// ShardIndices returns, in expansion order, the indices shard k owns
+// out of total runs.
+func ShardIndices(total, shards, k int) []int {
+	var out []int
+	for i := k; i < total; i += shards {
+		out = append(out, i)
+	}
+	return out
+}

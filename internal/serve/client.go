@@ -5,8 +5,10 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -22,6 +24,12 @@ type Client struct {
 	// HTTPClient overrides the transport (tests inject
 	// httptest.Server.Client()).
 	HTTPClient *http.Client
+	// Retry, when non-nil, retries transient failures (connection
+	// errors, HTTP 5xx) of Submit, Status, Report, Wait, and the worker
+	// protocol calls with capped exponential backoff + jitter. Events is
+	// never retried: replaying a partially consumed stream would
+	// re-deliver events to the callback.
+	Retry *RetryPolicy
 }
 
 // NewClient builds a client for the daemon at baseURL.
@@ -36,66 +44,174 @@ func (c *Client) http() *http.Client {
 	return http.DefaultClient
 }
 
-// apiError decodes the daemon's {"error": ...} body into a Go error.
+// retryDo applies the client's retry policy (none by default) to op.
+func (c *Client) retryDo(ctx context.Context, op func() error) error {
+	if c.Retry == nil {
+		return op()
+	}
+	return RetryTransient(ctx, *c.Retry, op)
+}
+
+// APIError is a non-2xx daemon response: the HTTP status plus the
+// decoded {"error": ...} message when the body carried one. Callers
+// branch on Status — the worker treats 409/410 as "the lease is gone,
+// stop" and 5xx as retryable.
+type APIError struct {
+	Status int
+	Msg    string
+}
+
+func (e *APIError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("snserved: %s (HTTP %d)", e.Msg, e.Status)
+	}
+	return fmt.Sprintf("snserved: HTTP %d", e.Status)
+}
+
+// apiError decodes the daemon's {"error": ...} body into an *APIError.
 func apiError(resp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 64*1024))
 	var e struct {
 		Error string `json:"error"`
 	}
 	if json.Unmarshal(body, &e) == nil && e.Error != "" {
-		return fmt.Errorf("snserved: %s (HTTP %d)", e.Error, resp.StatusCode)
+		return &APIError{Status: resp.StatusCode, Msg: e.Error}
 	}
-	return fmt.Errorf("snserved: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	return &APIError{Status: resp.StatusCode, Msg: string(bytes.TrimSpace(body))}
+}
+
+// ---------------------------------------------------------------------
+// Transient-failure retry (shared by sncampaign -submit and snworker)
+// ---------------------------------------------------------------------
+
+// RetryPolicy caps transient-failure retries with exponential backoff
+// and jitter. The zero value sanitizes to 6 attempts, 100ms base,
+// 5s cap.
+type RetryPolicy struct {
+	// Attempts is the total number of tries (not re-tries); <1 means 6.
+	Attempts int
+	// Base is the first backoff delay; <=0 means 100ms. Each subsequent
+	// delay doubles, capped at Max, then jitters uniformly over
+	// [delay/2, delay) so a fleet of retriers decorrelates.
+	Base time.Duration
+	// Max caps the backoff delay; <=0 means 5s.
+	Max time.Duration
+}
+
+func (p RetryPolicy) sanitized() RetryPolicy {
+	if p.Attempts < 1 {
+		p.Attempts = 6
+	}
+	if p.Base <= 0 {
+		p.Base = 100 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 5 * time.Second
+	}
+	return p
+}
+
+// Transient reports whether err is worth retrying: connection-level
+// failures (dial refused, reset, timeouts) and 5xx responses are;
+// 4xx rejections and context cancellation are not.
+func Transient(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var api *APIError
+	if errors.As(err, &api) {
+		return api.Status >= 500
+	}
+	// Anything else a request path produces is transport-level: dial
+	// failures, resets, EOFs mid-response.
+	return true
+}
+
+// RetryTransient runs op, retrying transient failures under the policy
+// with capped exponential backoff + jitter until op succeeds, fails
+// non-transiently, attempts run out, or ctx ends.
+func RetryTransient(ctx context.Context, p RetryPolicy, op func() error) error {
+	p = p.sanitized()
+	delay := p.Base
+	var err error
+	for attempt := 0; attempt < p.Attempts; attempt++ {
+		if attempt > 0 {
+			jittered := delay/2 + time.Duration(rand.Int63n(int64(delay/2)+1))
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(jittered):
+			}
+			if delay *= 2; delay > p.Max {
+				delay = p.Max
+			}
+		}
+		if err = op(); err == nil || !Transient(err) {
+			return err
+		}
+	}
+	return err
+}
+
+// doJSON issues one request expecting wantStatus, decoding a JSON body
+// into out when out is non-nil (okStatuses other than wantStatus skip
+// decoding and return errNoContent via the bool).
+func (c *Client) doJSON(ctx context.Context, method, u string, body []byte, wantStatus int, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		return apiError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("snserved: decoding response: %w", err)
+	}
+	return nil
 }
 
 // Submit posts one campaign document (canonical JSON) and returns the
 // accepted job's status. scaleTo > 0 asks the daemon to shrink every
-// run to that horizon (the sncampaign -short path).
+// run to that horizon (the sncampaign -short path). Under a retry
+// policy, transient submit failures back off and retry; note that a
+// retry after a lost success response resubmits (jobs are independent,
+// so the duplicate is wasteful, not wrong).
 func (c *Client) Submit(ctx context.Context, campaignJSON []byte, scaleTo uint64) (JobStatus, error) {
 	u := c.BaseURL + "/campaigns"
 	if scaleTo > 0 {
 		u += "?scale_to=" + strconv.FormatUint(scaleTo, 10)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(campaignJSON))
-	if err != nil {
-		return JobStatus{}, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.http().Do(req)
-	if err != nil {
-		return JobStatus{}, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted {
-		return JobStatus{}, apiError(resp)
-	}
 	var st JobStatus
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		return JobStatus{}, fmt.Errorf("snserved: decoding submit response: %w", err)
-	}
-	return st, nil
+	err := c.retryDo(ctx, func() error {
+		st = JobStatus{}
+		return c.doJSON(ctx, http.MethodPost, u, campaignJSON, http.StatusAccepted, &st)
+	})
+	return st, err
 }
 
 // Status fetches one job's status.
 func (c *Client) Status(ctx context.Context, id string) (JobStatus, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		c.BaseURL+"/campaigns/"+url.PathEscape(id), nil)
-	if err != nil {
-		return JobStatus{}, err
-	}
-	resp, err := c.http().Do(req)
-	if err != nil {
-		return JobStatus{}, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return JobStatus{}, apiError(resp)
-	}
 	var st JobStatus
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		return JobStatus{}, fmt.Errorf("snserved: decoding status: %w", err)
-	}
-	return st, nil
+	err := c.retryDo(ctx, func() error {
+		st = JobStatus{}
+		return c.doJSON(ctx, http.MethodGet, c.BaseURL+"/campaigns/"+url.PathEscape(id), nil, http.StatusOK, &st)
+	})
+	return st, err
 }
 
 // Report fetches a finished job's report in the given format ("text",
@@ -106,19 +222,91 @@ func (c *Client) Report(ctx context.Context, id, format string) ([]byte, error) 
 	if format != "" {
 		u += "?format=" + url.QueryEscape(format)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	var out []byte
+	err := c.retryDo(ctx, func() error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := c.http().Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return apiError(resp)
+		}
+		out, err = io.ReadAll(resp.Body)
+		return err
+	})
+	return out, err
+}
+
+// Lease claims a shard lease for the named worker. A nil grant with a
+// nil error means the daemon has nothing to lease right now (no
+// executing job, or all pending shards held) — poll again later.
+func (c *Client) Lease(ctx context.Context, workerID string) (*LeaseGrant, error) {
+	u := c.BaseURL + "/workers/" + url.PathEscape(workerID) + "/lease"
+	var g *LeaseGrant
+	err := c.retryDo(ctx, func() error {
+		g = nil
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := c.http().Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusNoContent:
+			return nil
+		case http.StatusOK:
+			g = &LeaseGrant{}
+			if err := json.NewDecoder(resp.Body).Decode(g); err != nil {
+				g = nil
+				return fmt.Errorf("snserved: decoding lease grant: %w", err)
+			}
+			return nil
+		default:
+			return apiError(resp)
+		}
+	})
+	return g, err
+}
+
+// PushRecords streams a batch of completed run records under the
+// push's fencing token, returning how many the daemon newly
+// checkpointed. Pushes are idempotent by expansion index, so retrying
+// after a lost response is safe: the replayed records commit 0.
+func (c *Client) PushRecords(ctx context.Context, workerID string, p RecordsPush) (int, error) {
+	body, err := json.Marshal(p)
 	if err != nil {
-		return nil, err
+		return 0, err
 	}
-	resp, err := c.http().Do(req)
+	u := c.BaseURL + "/workers/" + url.PathEscape(workerID) + "/records"
+	var out struct {
+		Accepted int `json:"accepted"`
+	}
+	err = c.retryDo(ctx, func() error {
+		out.Accepted = 0
+		return c.doJSON(ctx, http.MethodPost, u, body, http.StatusOK, &out)
+	})
+	return out.Accepted, err
+}
+
+// Heartbeat extends a lease before its TTL lapses. A 409/410 APIError
+// means the lease is gone — the worker must abandon the shard.
+func (c *Client) Heartbeat(ctx context.Context, workerID string, h Heartbeat) error {
+	body, err := json.Marshal(h)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, apiError(resp)
-	}
-	return io.ReadAll(resp.Body)
+	u := c.BaseURL + "/workers/" + url.PathEscape(workerID) + "/heartbeat"
+	return c.retryDo(ctx, func() error {
+		return c.doJSON(ctx, http.MethodPost, u, body, http.StatusNoContent, nil)
+	})
 }
 
 // Events subscribes to a job's SSE stream from the given sequence

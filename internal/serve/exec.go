@@ -1,0 +1,356 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"safetynet/internal/campaign"
+	"safetynet/internal/runner"
+)
+
+// shardExec is one executing job's shared shard state: the expanded
+// runs, the committed records, the open checkpoint logs, and the lease
+// table in front of them. The daemon's in-process executor and the
+// worker HTTP handlers both go through acquire/commit, so local and
+// remote execution obey the same fencing discipline — an in-process
+// shard goroutine that loses its lease is rejected exactly like a
+// partitioned worker would be.
+type shardExec struct {
+	srv     *Server
+	job     *Job
+	jobID   string
+	doc     []byte // canonical campaign bytes, handed to workers verbatim
+	scaleTo uint64
+	shards  int
+	total   int
+	runs    []campaign.Run
+	rcs     []runner.RunConfig
+	leases  *leaseTable
+
+	mu        sync.Mutex
+	recs      map[int]runner.RunResult
+	logs      map[int]*ShardLog
+	remaining int
+	closed    bool
+	failure   error
+
+	doneOnce sync.Once
+	done     chan struct{} // closed when every run has a record
+	failOnce sync.Once
+	failc    chan struct{} // closed on the first store failure
+}
+
+func newShardExec(s *Server, j *Job, doc []byte, scaleTo uint64, runs []campaign.Run, rcs []runner.RunConfig, recs map[int]runner.RunResult, shards int) *shardExec {
+	e := &shardExec{
+		srv:     s,
+		job:     j,
+		jobID:   j.Meta().ID,
+		doc:     doc,
+		scaleTo: scaleTo,
+		shards:  shards,
+		total:   len(rcs),
+		runs:    runs,
+		rcs:     rcs,
+		leases:  newLeaseTable(shards, s.leaseTTL(), &s.leaseMet),
+		recs:    recs,
+		logs:    map[int]*ShardLog{},
+		done:    make(chan struct{}),
+		failc:   make(chan struct{}),
+	}
+	e.remaining = e.total
+	for i := range recs {
+		if i >= 0 && i < e.total {
+			e.remaining--
+		}
+	}
+	if e.remaining == 0 {
+		e.finish()
+	}
+	return e
+}
+
+func (e *shardExec) finish() { e.doneOnce.Do(func() { close(e.done) }) }
+
+// fail records the first store failure and wakes the executor; the job
+// fails rather than resumes, because a store that cannot append cannot
+// checkpoint anything.
+func (e *shardExec) fail(err error) {
+	e.failOnce.Do(func() {
+		e.mu.Lock()
+		e.failure = err
+		e.mu.Unlock()
+		close(e.failc)
+	})
+}
+
+func (e *shardExec) err() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.failure
+}
+
+// pendingFor lists, in expansion order, the shard's indices without a
+// committed record.
+func (e *shardExec) pendingFor(shard int) []int {
+	owned := campaign.ShardIndices(e.total, e.shards, shard)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]int, 0, len(owned))
+	for _, i := range owned {
+		if _, ok := e.recs[i]; !ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// candidates lists shards that still have pending work, the leaseable
+// set. (The lease table additionally filters held and done shards.)
+func (e *shardExec) candidates() []int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	counts := make([]int, e.shards)
+	for k := 0; k < e.shards; k++ {
+		counts[k] = len(campaign.ShardIndices(e.total, e.shards, k))
+	}
+	for i := range e.recs {
+		if i >= 0 && i < e.total {
+			counts[campaign.ShardOf(i, e.shards)]--
+		}
+	}
+	var out []int
+	for k, n := range counts {
+		if n > 0 {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// acquire leases one available shard to worker, returning the grant a
+// remote worker receives over HTTP (the in-process executor uses the
+// same grant plus the revocation context).
+func (e *shardExec) acquire(worker string, now time.Time, parent context.Context) (*LeaseGrant, context.Context, bool) {
+	shard, token, ctx, ok := e.leases.acquire(worker, now, e.candidates(), parent)
+	if !ok {
+		return nil, nil, false
+	}
+	g := &LeaseGrant{
+		Job:       e.jobID,
+		Shard:     shard,
+		Shards:    e.shards,
+		Token:     token,
+		TTLMillis: e.srv.leaseTTL().Milliseconds(),
+		ScaleTo:   e.scaleTo,
+		Pending:   e.pendingFor(shard),
+		Campaign:  e.doc,
+	}
+	return g, ctx, true
+}
+
+// errBadIndex rejects a record whose index the pushing shard does not
+// own; it maps to 400, not to a fencing rejection.
+type errBadIndex struct{ index, shard int }
+
+func (e errBadIndex) Error() string {
+	return fmt.Sprintf("record index %d is not owned by shard %d", e.index, e.shard)
+}
+
+// commit validates the fencing token, then checkpoints a batch of run
+// records write-ahead: each new record is appended to the shard's log
+// before it is announced on the event stream; records whose index is
+// already checkpointed are skipped, which is what makes pushes
+// idempotent and retries safe. done marks the shard complete once no
+// owned index is pending. The returned count is the number of records
+// newly checkpointed (a pure replay commits 0 and succeeds).
+func (e *shardExec) commit(shard int, token uint64, records []Record, done bool) (int, error) {
+	if err := e.leases.validate(shard, token, time.Now()); err != nil {
+		return 0, err
+	}
+	type announce struct {
+		run campaign.Run
+		res runner.RunResult
+	}
+	var news []announce
+	accepted := 0
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return 0, fmt.Errorf("job %s is no longer executing", e.jobID)
+	}
+	for _, r := range records {
+		if r.Index < 0 || r.Index >= e.total || campaign.ShardOf(r.Index, e.shards) != shard {
+			e.mu.Unlock()
+			return accepted, errBadIndex{index: r.Index, shard: shard}
+		}
+		if _, ok := e.recs[r.Index]; ok {
+			continue // idempotent replay of an already-checkpointed run
+		}
+		log := e.logs[shard]
+		if log == nil {
+			var err error
+			log, err = e.srv.store.OpenShardLog(e.jobID, shard, e.srv.opts.CheckpointEvery)
+			if err != nil {
+				e.mu.Unlock()
+				e.fail(err)
+				return accepted, err
+			}
+			e.logs[shard] = log
+		}
+		if err := log.Append(r); err != nil {
+			e.mu.Unlock()
+			e.fail(err)
+			return accepted, err
+		}
+		e.recs[r.Index] = r.Result
+		e.remaining--
+		accepted++
+		news = append(news, announce{run: e.runs[r.Index], res: r.Result})
+	}
+	remaining := e.remaining
+	e.mu.Unlock()
+
+	for _, n := range news {
+		e.job.mu.Lock()
+		if shard < len(e.job.shardDone) {
+			e.job.shardDone[shard]++
+		}
+		e.job.mu.Unlock()
+		e.srv.noteRunDone()
+		e.job.hub.publish(completionEvent(n.run, n.res, e.total))
+	}
+	if done {
+		if rest := e.pendingFor(shard); len(rest) > 0 {
+			return accepted, fmt.Errorf("shard %d reported done with %d runs still pending", shard, len(rest))
+		}
+		e.leases.markDone(shard)
+	}
+	if remaining == 0 {
+		e.finish()
+	}
+	return accepted, nil
+}
+
+// close flushes and closes every open checkpoint log; later commits are
+// refused. Called once by the executor after completion, failure, or
+// cancellation — never while a local holder is still running.
+func (e *shardExec) close() error {
+	e.leases.cancelAll()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.closed = true
+	var first error
+	for k, log := range e.logs {
+		if err := log.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(e.logs, k)
+	}
+	return first
+}
+
+// results assembles the expansion-order result slice the reducer needs;
+// it only exists once remaining hit zero.
+func (e *shardExec) results() ([]runner.RunResult, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	res := make([]runner.RunResult, e.total)
+	for i := range res {
+		r, ok := e.recs[i]
+		if !ok {
+			return nil, fmt.Errorf("run %d finished without a checkpoint record", i)
+		}
+		res[i] = r
+	}
+	return res, nil
+}
+
+// localAcquirePoll is how often an idle in-process shard slot rechecks
+// whether it may lease (remote workers take priority: local slots only
+// acquire while zero workers are live, so a fleet that disappears is
+// picked up after one lease TTL).
+const localAcquirePoll = 100 * time.Millisecond
+
+// runLocal starts the in-process executor: one goroutine per shard
+// slot, each pulling leases through the same table remote workers use.
+// With zero live workers every shard is leased locally on the first
+// pass — the daemon alone behaves exactly like the pre-worker pool.
+func (e *shardExec) runLocal(ctx context.Context, wg *sync.WaitGroup) {
+	for s := 0; s < e.shards; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e.localSlot(ctx)
+		}()
+	}
+}
+
+func (e *shardExec) localSlot(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-e.done:
+			return
+		case <-e.failc:
+			return
+		default:
+		}
+		if e.srv.liveWorkers(time.Now()) == 0 {
+			if g, lctx, ok := e.acquire(localWorkerID, time.Now(), ctx); ok {
+				e.runLease(lctx, g)
+				continue
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-e.done:
+			return
+		case <-e.failc:
+			return
+		case <-time.After(localAcquirePoll):
+		}
+	}
+}
+
+// localWorkerID names the daemon's own shard slots in the lease table.
+const localWorkerID = "local"
+
+// runLease executes one local lease: run every pending index under the
+// lease's revocation context, committing each result through the same
+// fenced path remote pushes take. A heartbeat ticker keeps the lease
+// alive across runs longer than the TTL; losing the lease anyway (a
+// wedged run that outlives even the heartbeats' authority, i.e. the
+// shard expired and was re-leased) cancels lctx and fences the commit,
+// and the slot simply moves on.
+func (e *shardExec) runLease(lctx context.Context, g *LeaseGrant) {
+	hbStop := make(chan struct{})
+	defer close(hbStop)
+	go func() {
+		t := time.NewTicker(e.srv.leaseTTL() / 3)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbStop:
+				return
+			case <-lctx.Done():
+				return
+			case <-t.C:
+				e.leases.validate(g.Shard, g.Token, time.Now())
+			}
+		}
+	}()
+	for _, i := range g.Pending {
+		res, err := runner.RunCtx(lctx, e.rcs[i])
+		if err != nil {
+			return // canceled or lease revoked mid-run
+		}
+		if _, err := e.commit(g.Shard, g.Token, []Record{{Index: i, Result: res}}, false); err != nil {
+			return // fenced: the shard belongs to someone else now
+		}
+	}
+	e.commit(g.Shard, g.Token, nil, true)
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"safetynet/internal/campaign"
 	"safetynet/internal/runner"
@@ -108,15 +109,22 @@ func completionEvent(run campaign.Run, res runner.RunResult, total int) Event {
 }
 
 // execute runs one job to completion (or resumption-point), the heart
-// of the daemon: expand deterministically, skip checkpointed runs,
-// fan the rest across shard workers that append to their own
-// checkpoint logs, and reduce the full expansion-order result set into
-// the report. A canceled context returns ctx.Err() with the job left
-// running on disk — the state Open re-enqueues — so a killed daemon
-// resumes instead of restarting.
+// of the daemon: expand deterministically, skip checkpointed runs, and
+// hand the rest out shard-by-shard through the fenced lease table —
+// to remote workers pulling over HTTP, to the in-process executor when
+// none are live, or to both across the job's lifetime as workers come
+// and go. Every committed record lands in a per-shard checkpoint log
+// before it is announced, and the full expansion-order result set
+// reduces into the report. A canceled context returns ctx.Err() with
+// the job left running on disk — the state Open re-enqueues — so a
+// killed daemon resumes instead of restarting.
 func (s *Server) execute(ctx context.Context, j *Job) error {
 	m := j.Meta()
 	c, err := s.store.LoadCampaign(m.ID)
+	if err != nil {
+		return s.failJob(j, err)
+	}
+	doc, err := c.Encode()
 	if err != nil {
 		return s.failJob(j, err)
 	}
@@ -138,103 +146,85 @@ func (s *Server) execute(ctx context.Context, j *Job) error {
 	j.setMeta(m)
 
 	rcs := campaign.RunConfigs(runs, nil)
-	shards := runner.Workers(s.opts.Workers)
-	if shards > len(rcs) {
-		shards = len(rcs)
-	}
-	if shards < 1 {
-		shards = 1
-	}
+	shards := campaign.Shards(s.opts.Workers, len(rcs))
 
-	// Static round-robin shard assignment: shard k owns every index
-	// ≡ k (mod shards). The assignment is a pure function of the
-	// expansion, so any daemon lifetime (even with a different shard
-	// count) agrees on what remains: records are keyed by index, and
-	// LoadRecords reads every shard log regardless of layout.
+	// Static round-robin shard assignment (campaign.ShardOf): a pure
+	// function of the expansion, so any daemon lifetime (even with a
+	// different shard count) and any remote worker agree on what
+	// remains — records are keyed by index, and LoadRecords reads every
+	// shard log regardless of layout.
 	shardDone := make([]int, shards)
 	shardTotal := make([]int, shards)
-	pending := make([][]int, shards)
 	for i := range rcs {
-		k := i % shards
+		k := campaign.ShardOf(i, shards)
 		shardTotal[k]++
 		if _, ok := recs[i]; ok {
 			shardDone[k]++
-			continue
 		}
-		pending[k] = append(pending[k], i)
 	}
 	j.mu.Lock()
 	j.shardDone, j.shardTotal = shardDone, shardTotal
 	j.mu.Unlock()
 
-	var (
-		wg       sync.WaitGroup
-		errMu    sync.Mutex
-		firstErr error
-		resMu    sync.Mutex
-	)
-	fail := func(err error) {
-		errMu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		errMu.Unlock()
-	}
-	total := len(rcs)
-	for k := 0; k < shards; k++ {
-		if len(pending[k]) == 0 {
-			continue
-		}
+	e := newShardExec(s, j, doc, m.ScaleTo, runs, rcs, recs, shards)
+	s.setExec(e)
+	defer s.clearExec(e)
+
+	execCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	select {
+	case <-e.done:
+		// Everything was already checkpointed; no leases needed.
+	default:
+		// Reap missed-heartbeat leases on a timer so a dead worker's
+		// shard frees even if no request ever mentions it again.
 		wg.Add(1)
-		go func(k int) {
+		go func() {
 			defer wg.Done()
-			log, err := s.store.OpenShardLog(m.ID, k, s.opts.CheckpointEvery)
-			if err != nil {
-				fail(err)
-				return
-			}
-			defer log.Close()
-			for _, i := range pending[k] {
-				res, err := runner.RunCtx(ctx, rcs[i])
-				if err != nil {
-					fail(err) // canceled; checkpointed work stays
+			t := time.NewTicker(s.sweepInterval())
+			defer t.Stop()
+			for {
+				select {
+				case <-execCtx.Done():
 					return
-				}
-				// Write-ahead: checkpoint the completion before
-				// announcing it, so no subscriber ever sees a run the
-				// store could forget.
-				if err := log.Append(Record{Index: i, Result: res}); err != nil {
-					fail(err)
+				case <-e.done:
 					return
+				case <-t.C:
+					e.leases.sweep(time.Now())
 				}
-				resMu.Lock()
-				recs[i] = res
-				resMu.Unlock()
-				j.mu.Lock()
-				j.shardDone[k]++
-				j.mu.Unlock()
-				s.noteRunDone()
-				j.hub.publish(completionEvent(runs[i], res, total))
 			}
-		}(k)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		if ctx.Err() != nil {
-			// Killed mid-campaign: leave the job running on disk so the
-			// next daemon lifetime resumes it from the checkpoints.
-			return ctx.Err()
+		}()
+		if !s.opts.WorkersOnly {
+			e.runLocal(execCtx, &wg)
 		}
-		return s.failJob(j, firstErr)
 	}
 
-	res := make([]runner.RunResult, total)
-	for i := range res {
-		r, ok := recs[i]
-		if !ok {
-			return s.failJob(j, fmt.Errorf("run %d finished without a checkpoint record", i))
-		}
-		res[i] = r
+	finish := func() error {
+		cancel()
+		wg.Wait()
+		return e.close()
+	}
+	select {
+	case <-ctx.Done():
+		// Killed mid-campaign: close the logs and leave the job running
+		// on disk so the next daemon lifetime resumes from checkpoints.
+		finish()
+		return ctx.Err()
+	case <-e.failc:
+		finish()
+		return s.failJob(j, e.err())
+	case <-e.done:
+	}
+	// Flush the checkpoint logs before declaring the job done: a meta
+	// that says StateDone must never outrun the records it summarizes.
+	if err := finish(); err != nil {
+		return s.failJob(j, err)
+	}
+
+	res, err := e.results()
+	if err != nil {
+		return s.failJob(j, err)
 	}
 	rep := campaign.Reduce(cc, runs, res)
 	m.State = StateDone

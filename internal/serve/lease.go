@@ -1,0 +1,259 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The worker-pull protocol distributes one executing campaign's shards
+// across processes the same way the paper's machine distributes its
+// state across nodes: every shard is leased, every lease has a TTL kept
+// alive by heartbeats, and every grant carries a monotonically
+// increasing fencing token. A worker that stops heartbeating —
+// kill -9'd, wedged, or partitioned away — loses its lease; the shard
+// is re-leased at a strictly higher token, and any write the presumed-
+// dead worker later streams in is rejected by token comparison, so a
+// partitioned-then-returning worker can never corrupt a shard another
+// worker now owns. The per-shard checkpoint logs are the unit of
+// hand-off: a re-leased shard resumes from exactly the records its
+// previous holders committed.
+
+// LeaseGrant is the response of POST /workers/{id}/lease: everything a
+// worker needs to execute one shard deterministically — the canonical
+// campaign document, the scale budget, the shard layout, and the
+// expansion indices still pending. Token fences every subsequent write.
+type LeaseGrant struct {
+	Job    string `json:"job"`
+	Shard  int    `json:"shard"`
+	Shards int    `json:"shards"`
+	Token  uint64 `json:"token"`
+	// TTLMillis is the lease's time-to-live; a heartbeat or a record
+	// push within it extends the lease by the same amount.
+	TTLMillis int64  `json:"ttl_ms"`
+	ScaleTo   uint64 `json:"scale_to,omitempty"`
+	// Pending lists, in expansion order, the shard's indices without a
+	// checkpoint record at grant time.
+	Pending []int `json:"pending"`
+	// Campaign is the job's canonical campaign JSON, verbatim.
+	Campaign json.RawMessage `json:"campaign"`
+}
+
+// TTL returns the grant's time-to-live as a duration.
+func (g *LeaseGrant) TTL() time.Duration { return time.Duration(g.TTLMillis) * time.Millisecond }
+
+// RecordsPush is the request body of POST /workers/{id}/records: a
+// batch of completed run records under one fencing token. Records are
+// idempotent by expansion index — a replayed batch (a retry after a
+// lost response) is deduplicated against the checkpoint log, so pushing
+// is safe to retry. Done marks the shard complete once every owned
+// index has a record.
+type RecordsPush struct {
+	Job     string   `json:"job"`
+	Shard   int      `json:"shard"`
+	Token   uint64   `json:"token"`
+	Records []Record `json:"records,omitempty"`
+	Done    bool     `json:"done,omitempty"`
+}
+
+// Heartbeat is the request body of POST /workers/{id}/heartbeat: it
+// extends the lease's deadline by its TTL. A heartbeat after expiry is
+// rejected — the worker must re-lease and will receive only the work
+// that still needs doing.
+type Heartbeat struct {
+	Job   string `json:"job"`
+	Shard int    `json:"shard"`
+	Token uint64 `json:"token"`
+}
+
+// Lease-validation failures. Stale and expired are both fencing
+// rejections: the write (or heartbeat) carries no authority over the
+// shard anymore and must not touch it.
+var (
+	errStaleToken   = errors.New("stale fencing token: the shard was re-leased")
+	errLeaseExpired = errors.New("lease expired: heartbeat missed, re-lease to continue")
+	errShardDone    = errors.New("shard already complete")
+	errShardAvail   = errors.New("shard is not leased")
+)
+
+// leaseMetrics counts lease-table events over a daemon lifetime (the
+// table itself lives only as long as one executing job).
+type leaseMetrics struct {
+	granted  atomic.Int64 // leases handed out
+	releases atomic.Int64 // grants of a shard that had a previous holder
+	expired  atomic.Int64 // leases lost to missed heartbeats
+	fenced   atomic.Int64 // stale/expired writes and heartbeats rejected
+}
+
+// shardLease is one shard's lease slot.
+type shardLease struct {
+	token    uint64 // current fencing token; 0 = never leased
+	worker   string
+	deadline time.Time
+	held     bool
+	done     bool
+	// cancel revokes the holder's execution context on expiry or
+	// completion, so an in-process holder abandons mid-run at the next
+	// stride check instead of finishing work it can no longer commit.
+	cancel context.CancelFunc
+}
+
+// leaseTable tracks one executing job's shard leases. Tokens come from
+// a single per-job counter, so every grant — first lease or re-lease,
+// any shard — is strictly greater than every earlier one.
+type leaseTable struct {
+	mu     sync.Mutex
+	ttl    time.Duration
+	next   uint64
+	shards []shardLease
+	met    *leaseMetrics
+}
+
+func newLeaseTable(shards int, ttl time.Duration, met *leaseMetrics) *leaseTable {
+	if met == nil {
+		met = &leaseMetrics{}
+	}
+	return &leaseTable{ttl: ttl, shards: make([]shardLease, shards), met: met}
+}
+
+// expireLocked reaps one overdue lease: the slot frees, the holder's
+// context is revoked. Caller holds t.mu.
+func (t *leaseTable) expireLocked(l *shardLease) {
+	l.held = false
+	if l.cancel != nil {
+		l.cancel()
+		l.cancel = nil
+	}
+	t.met.expired.Add(1)
+}
+
+// sweep expires every lease whose deadline has passed, returning how
+// many it reaped. The executor runs it on a timer so a dead worker's
+// shard frees even when no request ever touches it again.
+func (t *leaseTable) sweep(now time.Time) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for i := range t.shards {
+		l := &t.shards[i]
+		if l.held && now.After(l.deadline) {
+			t.expireLocked(l)
+			n++
+		}
+	}
+	return n
+}
+
+// acquire leases the first available candidate shard to worker: not
+// done, and either never leased, expired, or released. The returned
+// context is canceled when the lease is revoked (expiry or shard
+// completion), which is how an in-process holder learns it lost the
+// shard mid-run. ok is false when no candidate is available.
+func (t *leaseTable) acquire(worker string, now time.Time, candidates []int, parent context.Context) (shard int, token uint64, ctx context.Context, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, k := range candidates {
+		if k < 0 || k >= len(t.shards) {
+			continue
+		}
+		l := &t.shards[k]
+		if l.done {
+			continue
+		}
+		if l.held {
+			if !now.After(l.deadline) {
+				continue
+			}
+			t.expireLocked(l)
+		}
+		if l.token != 0 {
+			// The shard had a previous holder: this grant is a re-lease
+			// at the next fencing epoch.
+			t.met.releases.Add(1)
+		}
+		t.next++
+		l.token = t.next
+		l.worker = worker
+		l.deadline = now.Add(t.ttl)
+		l.held = true
+		ctx, l.cancel = context.WithCancel(parent)
+		t.met.granted.Add(1)
+		return k, l.token, ctx, true
+	}
+	return 0, 0, nil, false
+}
+
+// validate checks that token still carries authority over shard,
+// extending the lease's deadline on success (a record push is as good
+// an "I'm alive" as a heartbeat). Every rejection counts as fenced.
+func (t *leaseTable) validate(shard int, token uint64, now time.Time) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if shard < 0 || shard >= len(t.shards) {
+		t.met.fenced.Add(1)
+		return errShardAvail
+	}
+	l := &t.shards[shard]
+	switch {
+	case l.done:
+		t.met.fenced.Add(1)
+		return errShardDone
+	case token != l.token:
+		t.met.fenced.Add(1)
+		return errStaleToken
+	case !l.held:
+		t.met.fenced.Add(1)
+		return errLeaseExpired
+	case now.After(l.deadline):
+		t.expireLocked(l)
+		t.met.fenced.Add(1)
+		return errLeaseExpired
+	}
+	l.deadline = now.Add(t.ttl)
+	return nil
+}
+
+// markDone completes a shard: the lease releases and can never be
+// granted again.
+func (t *leaseTable) markDone(shard int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	l := &t.shards[shard]
+	l.done = true
+	l.held = false
+	if l.cancel != nil {
+		l.cancel()
+		l.cancel = nil
+	}
+}
+
+// cancelAll revokes every outstanding lease context; the executor calls
+// it on shutdown so remote grants (parented on Background) don't leak.
+func (t *leaseTable) cancelAll() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range t.shards {
+		l := &t.shards[i]
+		if l.cancel != nil {
+			l.cancel()
+			l.cancel = nil
+		}
+	}
+}
+
+// held counts live (unexpired) leases, for /metrics.
+func (t *leaseTable) held(now time.Time) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for i := range t.shards {
+		l := &t.shards[i]
+		if l.held && !now.After(l.deadline) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestLeaseTableFencing drives one shard's full lease lifecycle with a
+// controlled clock: grant, heartbeat, expiry, re-lease at a strictly
+// higher token, fencing of the old holder, a second re-lease via the
+// sweeper, and completion.
+func TestLeaseTableFencing(t *testing.T) {
+	met := &leaseMetrics{}
+	tab := newLeaseTable(1, time.Second, met)
+	t0 := time.Unix(1_000_000, 0)
+
+	shard, tok1, ctx1, ok := tab.acquire("w1", t0, []int{0}, context.Background())
+	if !ok || shard != 0 || tok1 != 1 {
+		t.Fatalf("first acquire = (%d, %d, %v)", shard, tok1, ok)
+	}
+	if _, _, _, ok := tab.acquire("w2", t0.Add(100*time.Millisecond), []int{0}, context.Background()); ok {
+		t.Fatal("acquired a shard already held under an unexpired lease")
+	}
+
+	// A heartbeat within the TTL extends the lease.
+	if err := tab.validate(0, tok1, t0.Add(500*time.Millisecond)); err != nil {
+		t.Fatalf("in-TTL heartbeat rejected: %v", err)
+	}
+	// A token the table never granted is fenced outright.
+	if err := tab.validate(0, 999, t0.Add(600*time.Millisecond)); !errors.Is(err, errStaleToken) {
+		t.Fatalf("bogus token err = %v, want errStaleToken", err)
+	}
+
+	// Past the (extended) deadline the lease expires lazily and the
+	// holder's context is revoked; a heartbeat after expiry is rejected,
+	// and stays rejected on a second try.
+	late := t0.Add(3 * time.Second)
+	if err := tab.validate(0, tok1, late); !errors.Is(err, errLeaseExpired) {
+		t.Fatalf("post-expiry heartbeat err = %v, want errLeaseExpired", err)
+	}
+	if ctx1.Err() == nil {
+		t.Fatal("holder context not revoked on expiry")
+	}
+	if err := tab.validate(0, tok1, late); !errors.Is(err, errLeaseExpired) {
+		t.Fatalf("repeated post-expiry heartbeat err = %v, want errLeaseExpired", err)
+	}
+
+	// Re-lease: the new grant's token is strictly greater, and the old
+	// holder's token is fenced from then on.
+	_, tok2, ctx2, ok := tab.acquire("w2", late, []int{0}, context.Background())
+	if !ok || tok2 <= tok1 {
+		t.Fatalf("re-lease = (token %d, %v), want token > %d", tok2, ok, tok1)
+	}
+	if err := tab.validate(0, tok1, late.Add(time.Millisecond)); !errors.Is(err, errStaleToken) {
+		t.Fatalf("old holder err = %v, want errStaleToken", err)
+	}
+
+	// Second expiry via the sweeper, second re-lease: tokens keep
+	// strictly increasing across generations.
+	if n := tab.sweep(t0.Add(10 * time.Second)); n != 1 {
+		t.Fatalf("sweep reaped %d leases, want 1", n)
+	}
+	if ctx2.Err() == nil {
+		t.Fatal("swept holder context not revoked")
+	}
+	_, tok3, ctx3, ok := tab.acquire("w3", t0.Add(10*time.Second), []int{0}, context.Background())
+	if !ok || tok3 <= tok2 {
+		t.Fatalf("second re-lease token = %d, want > %d", tok3, tok2)
+	}
+
+	// Completion releases the shard permanently.
+	tab.markDone(0)
+	if ctx3.Err() == nil {
+		t.Fatal("holder context not revoked on completion")
+	}
+	if err := tab.validate(0, tok3, t0.Add(11*time.Second)); !errors.Is(err, errShardDone) {
+		t.Fatalf("post-done validate err = %v, want errShardDone", err)
+	}
+	if _, _, _, ok := tab.acquire("w4", t0.Add(11*time.Second), []int{0}, context.Background()); ok {
+		t.Fatal("acquired a completed shard")
+	}
+
+	if g, r, e, f := met.granted.Load(), met.releases.Load(), met.expired.Load(), met.fenced.Load(); g != 3 || r != 2 || e != 2 || f != 5 {
+		t.Fatalf("counters granted=%d releases=%d expired=%d fenced=%d, want 3/2/2/5", g, r, e, f)
+	}
+}
+
+// TestLeaseTableSweepAndHeld: held counts only unexpired leases, sweep
+// reaps every overdue one, and out-of-range candidates are skipped.
+func TestLeaseTableSweepAndHeld(t *testing.T) {
+	tab := newLeaseTable(2, time.Second, nil)
+	t0 := time.Unix(2_000_000, 0)
+
+	if _, _, _, ok := tab.acquire("w", t0, []int{-1, 7}, context.Background()); ok {
+		t.Fatal("acquired an out-of-range shard")
+	}
+
+	_, ta, _, _ := tab.acquire("a", t0, []int{0, 1}, context.Background())
+	_, tb, _, _ := tab.acquire("b", t0, []int{0, 1}, context.Background())
+	if ta != 1 || tb != 2 {
+		t.Fatalf("tokens = %d, %d; want 1, 2", ta, tb)
+	}
+	if n := tab.held(t0.Add(500 * time.Millisecond)); n != 2 {
+		t.Fatalf("held = %d, want 2", n)
+	}
+	// Overdue leases don't count as held even before the sweeper runs.
+	if n := tab.held(t0.Add(2 * time.Second)); n != 0 {
+		t.Fatalf("held past deadline = %d, want 0", n)
+	}
+	if n := tab.sweep(t0.Add(2 * time.Second)); n != 2 {
+		t.Fatalf("sweep reaped %d, want 2", n)
+	}
+	// Both shards re-lease at fresh, still strictly increasing tokens.
+	_, tc, _, _ := tab.acquire("c", t0.Add(2*time.Second), []int{0, 1}, context.Background())
+	_, td, _, _ := tab.acquire("d", t0.Add(2*time.Second), []int{0, 1}, context.Background())
+	if tc != 3 || td != 4 {
+		t.Fatalf("re-leased tokens = %d, %d; want 3, 4", tc, td)
+	}
+}

@@ -18,6 +18,7 @@ package serve
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -250,17 +251,59 @@ type ShardLog struct {
 }
 
 // OpenShardLog opens (appending) the job's checkpoint log for one
-// shard. checkpointEvery < 1 is treated as 1: sync on every append.
+// shard. checkpointEvery < 1 is treated as 1: sync on every append. A
+// torn tail — the newline-less half-record a crash cut short — is
+// truncated away first, so the next append starts a fresh line instead
+// of concatenating onto the fragment and corrupting both records.
 func (s *Store) OpenShardLog(id string, shard, checkpointEvery int) (*ShardLog, error) {
 	if checkpointEvery < 1 {
 		checkpointEvery = 1
 	}
 	path := filepath.Join(s.jobDir(id), fmt.Sprintf("shard-%04d.log", shard))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
 	}
+	keep, err := completeLines(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Truncate(keep); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(keep, 0); err != nil {
+		f.Close()
+		return nil, err
+	}
 	return &ShardLog{f: f, w: bufio.NewWriter(f), every: checkpointEvery}, nil
+}
+
+// completeLines returns the byte length of f's newline-terminated
+// prefix — everything past it is a torn tail that never fully hit
+// disk.
+func completeLines(f *os.File) (int64, error) {
+	info, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	size := info.Size()
+	buf := make([]byte, 4096)
+	for size > 0 {
+		n := int64(len(buf))
+		if n > size {
+			n = size
+		}
+		if _, err := f.ReadAt(buf[:n], size-n); err != nil {
+			return 0, err
+		}
+		if i := bytes.LastIndexByte(buf[:n], '\n'); i >= 0 {
+			return size - n + int64(i) + 1, nil
+		}
+		size -= n
+	}
+	return 0, nil
 }
 
 // Append checkpoints one completion.

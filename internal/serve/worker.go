@@ -1,0 +1,209 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"time"
+
+	"safetynet/internal/campaign"
+	"safetynet/internal/runner"
+)
+
+// Worker is the pull side of the distributed-worker protocol: it
+// leases one shard of the daemon's executing campaign at a time,
+// executes the shard's pending runs with the same runner machinery a
+// local pool uses, streams each result back (idempotent by expansion
+// index), and heartbeats to keep the lease alive. Transient transport
+// failures back off and retry; fencing rejections — the daemon
+// re-leased the shard after missed heartbeats — abandon the shard
+// immediately, so a partitioned-then-returning worker wastes cycles
+// but never corrupts state. Run as many workers against one daemon as
+// the campaign has shards; the report stays byte-identical regardless
+// of which process executed what.
+type Worker struct {
+	// ID names this worker in lease grants, logs, and liveness
+	// accounting. IDs should be unique per process.
+	ID string
+	// Client reaches the daemon. Its retry policy is applied to every
+	// protocol call; NewWorker installs the default policy.
+	Client *Client
+	// Poll is the idle re-poll interval when the daemon has nothing to
+	// lease; <=0 means 500ms.
+	Poll time.Duration
+	// Logf, when non-nil, narrates leases, completions, and fencing
+	// rejections.
+	Logf func(format string, args ...any)
+}
+
+// NewWorker builds a worker pulling from the daemon at baseURL, with
+// the default transient-retry policy installed.
+func NewWorker(baseURL, id string) *Worker {
+	cl := NewClient(baseURL)
+	cl.Retry = &RetryPolicy{}
+	return &Worker{ID: id, Client: cl}
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Logf != nil {
+		w.Logf(format, args...)
+	}
+}
+
+func (w *Worker) poll() time.Duration {
+	if w.Poll > 0 {
+		return w.Poll
+	}
+	return 500 * time.Millisecond
+}
+
+// sleep waits d plus up to 25% jitter (decorrelating a worker fleet's
+// polls), returning early when ctx ends.
+func sleep(ctx context.Context, d time.Duration) error {
+	d += time.Duration(rand.Int63n(int64(d)/4 + 1))
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(d):
+		return nil
+	}
+}
+
+// abandonLease reports whether a protocol error means the lease is
+// gone (fenced, expired, or the job stopped executing) as opposed to a
+// transport failure worth continuing through.
+func abandonLease(err error) bool {
+	var api *APIError
+	if errors.As(err, &api) {
+		switch api.Status {
+		case http.StatusConflict, http.StatusGone, http.StatusBadRequest, http.StatusNotFound:
+			return true
+		}
+	}
+	return false
+}
+
+// Run pulls and executes leases until ctx ends, returning ctx's error.
+// An unreachable daemon is not fatal: the worker keeps polling with
+// backoff (inside the client's retry policy) and resumes when the
+// daemon comes back — symmetric with the daemon surviving the loss of
+// its workers.
+func (w *Worker) Run(ctx context.Context) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		g, err := w.Client.Lease(ctx, w.ID)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			w.logf("lease: %v (will re-poll)", err)
+			if err := sleep(ctx, w.poll()); err != nil {
+				return err
+			}
+			continue
+		}
+		if g == nil {
+			if err := sleep(ctx, w.poll()); err != nil {
+				return err
+			}
+			continue
+		}
+		w.executeLease(ctx, g)
+	}
+}
+
+// executeLease runs one granted shard: expand the campaign exactly as
+// the daemon did (same canonical document, same scale budget, so run
+// results are bit-identical to local execution), keep the lease alive
+// from a heartbeat goroutine, and push every completed record. Any
+// fencing rejection cancels the shard mid-flight.
+func (w *Worker) executeLease(ctx context.Context, g *LeaseGrant) {
+	rcs, err := w.assemble(g)
+	if err != nil {
+		// A grant the worker cannot decode is a protocol bug, not a
+		// transient: log, let the lease lapse, and re-poll.
+		w.logf("job %s shard %d: %v", g.Job, g.Shard, err)
+		sleep(ctx, w.poll())
+		return
+	}
+	lctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	hb := Heartbeat{Job: g.Job, Shard: g.Shard, Token: g.Token}
+	hbDone := make(chan struct{})
+	defer func() { <-hbDone }()
+	go func() {
+		defer close(hbDone)
+		interval := g.TTL() / 3
+		if interval <= 0 {
+			interval = time.Second
+		}
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-lctx.Done():
+				return
+			case <-t.C:
+				if err := w.Client.Heartbeat(lctx, w.ID, hb); err != nil && lctx.Err() == nil {
+					w.logf("job %s shard %d: heartbeat rejected: %v", g.Job, g.Shard, err)
+					cancel() // lease lost: abandon the shard mid-run
+					return
+				}
+			}
+		}
+	}()
+
+	w.logf("job %s: leased shard %d (token %d, %d pending)", g.Job, g.Shard, g.Token, len(g.Pending))
+	for _, i := range g.Pending {
+		res, err := runner.RunCtx(lctx, rcs[i])
+		if err != nil {
+			return // canceled (shutdown or lease lost)
+		}
+		push := RecordsPush{Job: g.Job, Shard: g.Shard, Token: g.Token,
+			Records: []Record{{Index: i, Result: res}}}
+		if _, err := w.Client.PushRecords(lctx, w.ID, push); err != nil {
+			if lctx.Err() == nil && abandonLease(err) {
+				w.logf("job %s shard %d: push fenced: %v", g.Job, g.Shard, err)
+			}
+			return
+		}
+	}
+	done := RecordsPush{Job: g.Job, Shard: g.Shard, Token: g.Token, Done: true}
+	if _, err := w.Client.PushRecords(lctx, w.ID, done); err != nil {
+		w.logf("job %s shard %d: done push rejected: %v", g.Job, g.Shard, err)
+		return
+	}
+	w.logf("job %s: shard %d complete", g.Job, g.Shard)
+}
+
+// assemble rebuilds the grant's run configurations: strict-parse the
+// canonical campaign, apply the same scale budget, expand, and check
+// that every pending index is in range and owned by the granted shard.
+func (w *Worker) assemble(g *LeaseGrant) ([]runner.RunConfig, error) {
+	c, err := campaign.Parse(g.Campaign)
+	if err != nil {
+		return nil, fmt.Errorf("parsing leased campaign: %w", err)
+	}
+	if g.ScaleTo > 0 {
+		c = c.Scaled(g.ScaleTo)
+	}
+	runs, err := c.Expand()
+	if err != nil {
+		return nil, fmt.Errorf("expanding leased campaign: %w", err)
+	}
+	if g.Shards < 1 || g.Shard < 0 || g.Shard >= g.Shards {
+		return nil, fmt.Errorf("invalid shard layout %d/%d", g.Shard, g.Shards)
+	}
+	for _, i := range g.Pending {
+		if i < 0 || i >= len(runs) || campaign.ShardOf(i, g.Shards) != g.Shard {
+			return nil, fmt.Errorf("pending index %d outside shard %d/%d of %d runs",
+				i, g.Shard, g.Shards, len(runs))
+		}
+	}
+	return campaign.RunConfigs(runs, nil), nil
+}

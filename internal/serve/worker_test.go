@@ -1,0 +1,533 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"safetynet/internal/campaign"
+	"safetynet/internal/runner"
+)
+
+// startDaemonWith is startDaemon with full Options control (lease TTL,
+// workers-only) for the distributed-worker tests.
+func startDaemonWith(t *testing.T, opts Options) *daemon {
+	t.Helper()
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); s.Run(ctx) }()
+	ts := httptest.NewServer(s.Handler())
+	cl := NewClient(ts.URL)
+	cl.HTTPClient = ts.Client()
+	d := &daemon{s: s, ts: ts, cl: cl, cancel: cancel, done: done}
+	t.Cleanup(d.stop)
+	return d
+}
+
+// startWorker runs one pull worker against the daemon until the test
+// ends.
+func startWorker(t *testing.T, d *daemon, id string) {
+	t.Helper()
+	w := NewWorker(d.ts.URL, id)
+	w.Client.HTTPClient = d.ts.Client()
+	w.Poll = 10 * time.Millisecond
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); w.Run(ctx) }()
+	t.Cleanup(func() { cancel(); <-done })
+}
+
+// countRecords tallies checkpoint-log lines per expansion index,
+// failing on any line that does not parse (a torn tail that was
+// appended over, for instance).
+func countRecords(t *testing.T, dir, id string) map[int]int {
+	t.Helper()
+	perIndex := map[int]int{}
+	ents, err := os.ReadDir(filepath.Join(dir, "jobs", id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if !strings.HasPrefix(e.Name(), "shard-") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, "jobs", id, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range bytes.Split(bytes.TrimSpace(data), []byte("\n")) {
+			if len(line) == 0 {
+				continue
+			}
+			var r Record
+			if err := json.Unmarshal(line, &r); err != nil {
+				t.Fatalf("%s: unparseable record line %q: %v", e.Name(), line, err)
+			}
+			perIndex[r.Index]++
+		}
+	}
+	return perIndex
+}
+
+// assertOneRecordPerIndex is the no-duplicated-work invariant: every
+// expansion index checkpointed exactly once, across all shard logs and
+// worker generations.
+func assertOneRecordPerIndex(t *testing.T, dir, id string, total int) {
+	t.Helper()
+	perIndex := countRecords(t, dir, id)
+	if len(perIndex) != total {
+		t.Fatalf("records cover %d/%d indices", len(perIndex), total)
+	}
+	for i, n := range perIndex {
+		if n != 1 {
+			t.Fatalf("run %d checkpointed %d times; work was duplicated", i, n)
+		}
+	}
+}
+
+// metricValue scrapes one integer gauge/counter off /metrics.
+func metricValue(t *testing.T, d *daemon, name string) int {
+	t.Helper()
+	resp, err := d.ts.Client().Get(d.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 2 && fields[0] == name {
+			n, err := strconv.Atoi(fields[1])
+			if err != nil {
+				t.Fatalf("metric %s = %q: %v", name, fields[1], err)
+			}
+			return n
+		}
+	}
+	t.Fatalf("metric %s not exported", name)
+	return 0
+}
+
+// TestDistributedWorkersByteIdentical: a workers-only daemon never
+// executes in-process; two pull workers lease its shards over HTTP and
+// the final report is byte-identical to an uninterrupted local
+// single-worker run in every format.
+func TestDistributedWorkersByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	d := startDaemonWith(t, Options{
+		StoreDir: dir, Workers: 4, CheckpointEvery: 1,
+		WorkersOnly: true, LeaseTTL: 2 * time.Second,
+	})
+	c := testCampaign()
+	st, err := d.cl.Submit(context.Background(), encodeCampaign(t, c), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	startWorker(t, d, "w0")
+	startWorker(t, d, "w1")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	fin, err := d.cl.Wait(ctx, st.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != StateDone || fin.Done != 8 {
+		t.Fatalf("final status = %+v", fin)
+	}
+
+	assertOneRecordPerIndex(t, dir, st.ID, 8)
+	for _, format := range []string{"text", "json", "csv"} {
+		served, err := d.cl.Report(context.Background(), st.ID, format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := localReport(t, c, format); !bytes.Equal(served, want) {
+			t.Fatalf("%s report from distributed workers differs from local run:\n--- served ---\n%s\n--- local ---\n%s",
+				format, served, want)
+		}
+	}
+
+	// Every shard was leased at least once, all of them to remote
+	// workers, and the daemon saw the fleet.
+	if n := metricValue(t, d, "snserved_leases_granted_total"); n < 4 {
+		t.Fatalf("leases granted = %d, want >= 4 (one per shard)", n)
+	}
+	if n := metricValue(t, d, "snserved_workers_live"); n < 1 {
+		t.Fatalf("workers live = %d, want >= 1", n)
+	}
+}
+
+// TestWorkerDeathFencingAndResume is the chaos acceptance property in
+// miniature, made deterministic by playing the doomed worker by hand:
+// it leases the (single) shard, checkpoints one record, and vanishes
+// without heartbeating. After the TTL its heartbeat is rejected (410),
+// the shard re-leases at a strictly higher token, the dead worker's
+// late record push is fenced mid-flight (409) without committing
+// anything, and a healthy worker finishes the campaign — byte-identical
+// report, no index executed twice.
+func TestWorkerDeathFencingAndResume(t *testing.T) {
+	const ttl = 300 * time.Millisecond
+	dir := t.TempDir()
+	d := startDaemonWith(t, Options{
+		StoreDir: dir, Workers: 1, CheckpointEvery: 1,
+		WorkersOnly: true, LeaseTTL: ttl,
+	})
+	c := testCampaign()
+	ctx := context.Background()
+
+	// Precompute the doomed worker's two records before leasing: the
+	// results are deterministic pure functions of the run configs, and
+	// computing them up front keeps the lease fresh (a raced test run is
+	// slow enough that simulating under a 300ms TTL would expire it).
+	runs, err := c.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcs := campaign.RunConfigs(runs, nil)
+	res0, err := runner.RunCtx(ctx, rcs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := runner.RunCtx(ctx, rcs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := d.cl.Submit(ctx, encodeCampaign(t, c), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The doomed worker leases the shard (polling until the scheduler
+	// picks the job up) and checkpoints exactly one record.
+	var g *LeaseGrant
+	deadline := time.Now().Add(time.Minute)
+	for g == nil {
+		if g, err = d.cl.Lease(ctx, "doomed"); err != nil {
+			t.Fatal(err)
+		}
+		if g == nil {
+			if time.Now().After(deadline) {
+				t.Fatal("job never became leasable")
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if g.Shards != 1 || g.Shard != 0 || len(g.Pending) != 8 || g.Pending[0] != 0 {
+		t.Fatalf("grant = %+v, want the whole 8-run campaign as one shard", g)
+	}
+	accepted, err := d.cl.PushRecords(ctx, "doomed", RecordsPush{
+		Job: g.Job, Shard: g.Shard, Token: g.Token,
+		Records: []Record{{Index: 0, Result: res0}},
+	})
+	if err != nil || accepted != 1 {
+		t.Fatalf("first push = (%d, %v), want (1, nil)", accepted, err)
+	}
+	// A replay of the same record is idempotent: accepted 0, no error.
+	accepted, err = d.cl.PushRecords(ctx, "doomed", RecordsPush{
+		Job: g.Job, Shard: g.Shard, Token: g.Token,
+		Records: []Record{{Index: 0, Result: res0}},
+	})
+	if err != nil || accepted != 0 {
+		t.Fatalf("replayed push = (%d, %v), want (0, nil)", accepted, err)
+	}
+
+	// The worker now "dies": no heartbeats. Well past the TTL its lease
+	// is gone and a late heartbeat is rejected with 410.
+	time.Sleep(3 * ttl)
+	var api *APIError
+	err = d.cl.Heartbeat(ctx, "doomed", Heartbeat{Job: g.Job, Shard: g.Shard, Token: g.Token})
+	if !errors.As(err, &api) || api.Status != http.StatusGone {
+		t.Fatalf("post-expiry heartbeat err = %v, want HTTP 410", err)
+	}
+
+	// The shard re-leases to a new worker at a strictly higher fencing
+	// token, with the checkpointed record excluded from pending.
+	g2, err := d.cl.Lease(ctx, "taker")
+	if err != nil || g2 == nil {
+		t.Fatalf("re-lease = (%v, %v), want a grant", g2, err)
+	}
+	if g2.Token <= g.Token {
+		t.Fatalf("re-lease token %d not greater than %d", g2.Token, g.Token)
+	}
+	if len(g2.Pending) != 7 || g2.Pending[0] != 1 {
+		t.Fatalf("re-lease pending = %v, want the 7 unexecuted runs", g2.Pending)
+	}
+	for _, i := range g2.Pending {
+		if i == 0 {
+			t.Fatalf("checkpointed run %d re-offered for execution", i)
+		}
+	}
+
+	// The dead worker returns from its partition and streams a record
+	// under its old token: fenced mid-flight, nothing committed.
+	_, err = d.cl.PushRecords(ctx, "doomed", RecordsPush{
+		Job: g.Job, Shard: g.Shard, Token: g.Token,
+		Records: []Record{{Index: 1, Result: res1}},
+	})
+	if !errors.As(err, &api) || api.Status != http.StatusConflict {
+		t.Fatalf("stale-token push err = %v, want HTTP 409", err)
+	}
+	cur, err := d.cl.Status(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.Done != 1 {
+		t.Fatalf("done = %d after fenced push, want 1 (the fenced record must not commit)", cur.Done)
+	}
+
+	// A healthy worker picks the shard up once the taker's untended
+	// lease lapses, and finishes the campaign.
+	startWorker(t, d, "phoenix")
+	wctx, cancel := context.WithTimeout(ctx, 2*time.Minute)
+	defer cancel()
+	fin, err := d.cl.Wait(wctx, st.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != StateDone || fin.Done != 8 {
+		t.Fatalf("final status = %+v", fin)
+	}
+
+	assertOneRecordPerIndex(t, dir, st.ID, 8)
+	for _, format := range []string{"text", "json", "csv"} {
+		served, err := d.cl.Report(ctx, st.ID, format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := localReport(t, c, format); !bytes.Equal(served, want) {
+			t.Fatalf("%s report differs after worker death and re-lease:\n--- served ---\n%s\n--- local ---\n%s",
+				format, served, want)
+		}
+	}
+	if n := metricValue(t, d, "snserved_leases_expired_total"); n < 2 {
+		t.Fatalf("leases expired = %d, want >= 2 (doomed and taker)", n)
+	}
+	if n := metricValue(t, d, "snserved_releases_total"); n < 2 {
+		t.Fatalf("re-leases = %d, want >= 2", n)
+	}
+	if n := metricValue(t, d, "snserved_leases_fenced_total"); n < 2 {
+		t.Fatalf("fenced rejections = %d, want >= 2 (heartbeat and push)", n)
+	}
+}
+
+// TestTornTailWorkerResume: a shard log ending in the half-written line
+// a kill -9 leaves behind is repaired on resume — the torn tail is
+// trimmed, the intact records are not re-executed, and the re-leased
+// worker's appends land on fresh lines, so the final report is
+// byte-identical and every index has exactly one parseable record.
+func TestTornTailWorkerResume(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := testCampaign()
+	m, err := store.Create(encodeCampaign(t, c), Meta{Name: c.Name, Runs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pre-seed shard 0 (of 2: indices 0, 2, 4, 6) with the real results
+	// of its first two runs, then tear the log mid-append.
+	runs, err := c.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcs := campaign.RunConfigs(runs, nil)
+	log, err := store.OpenShardLog(m.ID, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 2} {
+		res, err := runner.RunCtx(context.Background(), rcs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := log.Append(Record{Index: i, Result: res}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "jobs", m.ID, "shard-0000.log")
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"index":4,"result":{"IPC":1.`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// A fresh daemon recovers the queued job; a worker executes only
+	// what was never checkpointed.
+	d := startDaemonWith(t, Options{
+		StoreDir: dir, Workers: 2, CheckpointEvery: 1,
+		WorkersOnly: true, LeaseTTL: 2 * time.Second,
+	})
+	startWorker(t, d, "resumer")
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	fin, err := d.cl.Wait(ctx, m.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != StateDone || fin.Done != 8 {
+		t.Fatalf("final status = %+v", fin)
+	}
+
+	// One parseable record per index: the torn fragment is gone (an
+	// untrimmed tail would have merged with the first resumed append and
+	// failed to parse) and indices 0 and 2 were not re-executed.
+	assertOneRecordPerIndex(t, dir, m.ID, 8)
+	served, err := d.cl.Report(ctx, m.ID, "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := localReport(t, c, "text"); !bytes.Equal(served, want) {
+		t.Fatalf("report differs after torn-tail resume:\n--- served ---\n%s\n--- local ---\n%s", served, want)
+	}
+}
+
+// TestShardLogTornTailTrimmedOnReopen exercises the repair directly: a
+// reopened log with a torn tail truncates it, and subsequent appends
+// parse cleanly alongside the intact prefix.
+func TestShardLogTornTailTrimmedOnReopen(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := store.Create(encodeCampaign(t, testCampaign()), Meta{Name: "torn", Runs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := store.OpenShardLog(m.ID, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Append(Record{Index: 0, Result: runner.RunResult{IPC: 0.5}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "jobs", m.ID, "shard-0000.log")
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"index":1,"result":`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	log, err = store.OpenShardLog(m.ID, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Append(Record{Index: 1, Result: runner.RunResult{IPC: 1.5}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := store.LoadRecords(m.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].IPC != 0.5 || recs[1].IPC != 1.5 {
+		t.Fatalf("records after torn-tail repair = %+v, want indices 0 and 1 intact", recs)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range bytes.Split(bytes.TrimSpace(data), []byte("\n")) {
+		var r Record
+		if err := json.Unmarshal(line, &r); err != nil {
+			t.Fatalf("line %q unparseable: the torn tail was not trimmed", line)
+		}
+	}
+}
+
+// TestRetryTransient: 5xx and transport failures retry under the
+// policy's backoff; 4xx rejections fail immediately.
+func TestRetryTransient(t *testing.T) {
+	var mu sync.Mutex
+	attempts := 0
+	fail := 2
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		attempts++
+		n := attempts
+		mu.Unlock()
+		if n <= fail {
+			httpError(w, http.StatusServiceUnavailable, "still warming up")
+			return
+		}
+		writeJSON(w, http.StatusOK, JobStatus{ID: "c000001", State: StateDone, Runs: 8, Done: 8})
+	}))
+	defer ts.Close()
+
+	cl := NewClient(ts.URL)
+	cl.Retry = &RetryPolicy{Attempts: 5, Base: time.Millisecond, Max: 4 * time.Millisecond}
+	st, err := cl.Status(context.Background(), "c000001")
+	if err != nil {
+		t.Fatalf("status after transient 503s: %v", err)
+	}
+	if st.State != StateDone {
+		t.Fatalf("status = %+v", st)
+	}
+	mu.Lock()
+	if attempts != 3 {
+		t.Fatalf("server saw %d attempts, want 3 (two 503s then success)", attempts)
+	}
+	// A 4xx is not transient: exactly one more request, immediate error.
+	attempts, fail = 0, 0
+	mu.Unlock()
+	ts.Config.Handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		attempts++
+		mu.Unlock()
+		httpError(w, http.StatusBadRequest, "no such thing")
+	})
+	var api *APIError
+	if _, err := cl.Status(context.Background(), "c000001"); !errors.As(err, &api) || api.Status != http.StatusBadRequest {
+		t.Fatalf("4xx err = %v, want APIError 400", err)
+	}
+	mu.Lock()
+	if attempts != 1 {
+		t.Fatalf("server saw %d attempts for a 400, want 1 (no retry)", attempts)
+	}
+	mu.Unlock()
+
+	// Transient classification itself.
+	if Transient(nil) || Transient(context.Canceled) || Transient(&APIError{Status: 404}) {
+		t.Fatal("nil/canceled/4xx misclassified as transient")
+	}
+	if !Transient(&APIError{Status: 503}) || !Transient(fmt.Errorf("dial tcp: connection refused")) {
+		t.Fatal("5xx/transport errors misclassified as permanent")
+	}
+}

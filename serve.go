@@ -34,12 +34,35 @@ const (
 
 // ServeClient talks to a running snserved daemon: Submit, Status,
 // Report (bytes identical to a local sncampaign run), Events (SSE with
-// replay), and Wait.
+// replay), Wait, and the worker-pull protocol (Lease, PushRecords,
+// Heartbeat). Setting Retry makes transient failures back off and
+// retry.
 type ServeClient = serve.Client
 
 // NewServeClient builds a client for the daemon at baseURL (e.g.
 // "http://localhost:8321").
 func NewServeClient(baseURL string) *ServeClient { return serve.NewClient(baseURL) }
+
+// ServeRetryPolicy caps transient-failure retries (connection errors,
+// HTTP 5xx) with exponential backoff + jitter; the zero value is the
+// default policy. Install it on a ServeClient's Retry field, or use it
+// with serve-side tooling directly.
+type ServeRetryPolicy = serve.RetryPolicy
+
+// ServeWorker is a distributed pull worker for the snserved daemon: it
+// leases shards of the executing campaign, runs them with the same
+// deterministic machinery a local pool uses, streams records back, and
+// heartbeats its leases (see cmd/snworker for the CLI front end). A
+// worker that dies or partitions away loses its lease after one TTL;
+// the shard is re-leased at a higher fencing token and the dead
+// worker's late writes are rejected, so the final report is
+// byte-identical no matter how many workers lived or died.
+type ServeWorker = serve.Worker
+
+// NewWorker builds a ServeWorker pulling from the daemon at baseURL
+// under the given unique worker id, with the default transient-retry
+// policy installed.
+func NewWorker(baseURL, id string) *ServeWorker { return serve.NewWorker(baseURL, id) }
 
 // Serve runs the campaign-serving daemon on addr until ctx ends: an
 // HTTP/JSON API (submit campaigns, stream per-run completions over
