@@ -33,12 +33,12 @@ func (m *Machine) ResumeAll() {
 func (m *Machine) Quiesce(budget sim.Time) bool {
 	m.quiescing = true
 	m.PauseAll()
-	deadline := m.Eng.Now() + budget
-	for m.Eng.Now() < deadline {
+	deadline := m.dom.Now() + budget
+	for m.dom.Now() < deadline {
 		if m.drained() {
 			return true
 		}
-		m.Eng.Run(m.Eng.Now() + 1000)
+		m.dom.Run(m.dom.Now() + 1000)
 	}
 	return m.drained()
 }

@@ -34,6 +34,7 @@ type Node struct {
 	Ring *core.RegRing
 
 	m           *Machine
+	eng         *sim.Engine // the engine shard owning this node's events
 	rpcn        msg.CN
 	lastReady   msg.CN
 	pausedBP    bool // paused by the outstanding-checkpoint bound
@@ -46,7 +47,14 @@ type Node struct {
 
 // Machine is a complete simulated system.
 type Machine struct {
-	Eng   *sim.Engine
+	// Eng is the engine owning shard 0 (the whole system when
+	// sequential). Tests drive sequential machines through it; sharded
+	// runs are driven through the domain (Machine.Run).
+	Eng *sim.Engine
+	// dom is the scheduling domain: Eng itself when EngineShards <= 1,
+	// otherwise a conservative-lookahead sharded engine partitioning the
+	// nodes.
+	dom   sim.Domain
 	P     config.Params
 	Topo  *topology.Torus
 	Net   *network.Network
@@ -84,6 +92,20 @@ type Machine struct {
 	obs backend.Observers
 }
 
+// resolveShards maps the EngineShards axis to a concrete shard count: 0
+// and 1 select the sequential engine, larger values are capped at the
+// node count (a shard needs at least one node).
+func resolveShards(p config.Params) int {
+	k := p.EngineShards
+	if k > p.NumNodes {
+		k = p.NumNodes
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
 // New builds a machine running the given workload profile on every
 // processor. It panics on invalid configuration (programming error).
 func New(p config.Params, profile workload.Profile) *Machine {
@@ -91,23 +113,37 @@ func New(p config.Params, profile workload.Profile) *Machine {
 		panic(err)
 	}
 	m := &Machine{
-		Eng:  sim.NewEngine(),
 		P:    p,
 		Topo: topology.New(p.TorusWidth, p.TorusHeight),
 		home: protocol.InterleavedHome(p.BlockBytes, p.NumNodes),
 	}
-	m.Net = network.New(m.Eng, m.Topo, p)
+	if k := resolveShards(p); k > 1 {
+		assign := m.Topo.Partition(k)
+		m.dom = sim.NewShardedEngine(k, assign, sim.Time(p.ShardWindowCycles()))
+		m.Eng = m.dom.EngineAt(0)
+	} else {
+		eng := sim.NewEngine()
+		m.dom = eng
+		m.Eng = eng
+	}
+	m.Net = network.New(m.dom, m.Topo, p)
+	if m.dom.ShardCount() > 1 {
+		// Shards route concurrently; the lazily-filled route cache must
+		// be complete before they start.
+		m.Net.PrewarmRoutes()
+	}
 	m.Net.OnInjectedFault(func(kind string) {
-		m.obs.FaultFired(uint64(m.Eng.Now()), kind)
+		m.obs.FaultFired(uint64(m.dom.Now()), kind)
 	})
 
 	for n := 0; n < p.NumNodes; n++ {
-		node := &Node{ID: n, m: m, rpcn: 1, lastReady: 1}
-		node.CC = protocol.NewCacheController(n, m.Eng, m.Net, p, m.home)
-		node.Dir = protocol.NewDirController(n, m.Eng, m.Net, p)
+		eng := m.dom.EngineAt(n)
+		node := &Node{ID: n, m: m, eng: eng, rpcn: 1, lastReady: 1}
+		node.CC = protocol.NewCacheController(n, eng, m.Net, p, m.home)
+		node.Dir = protocol.NewDirController(n, eng, m.Net, p)
 		gen := workload.NewSynthetic(profile, n, p.Seed)
 		node.Out = iodev.NewOutputBuffer()
-		node.Proc = proc.New(n, m.Eng, p, node.CC, gen, node.Out)
+		node.Proc = proc.New(n, eng, p, node.CC, gen, node.Out)
 		node.Ring = core.NewRegRing()
 		node.Ring.Add(1, node.Proc.Snapshot())
 		node.CC.OnFault = m.faultReporter(n)
@@ -119,29 +155,38 @@ func New(p config.Params, profile workload.Profile) *Machine {
 
 	if p.SafetyNetEnabled {
 		m.svcHomes = [2]int{0, p.NumNodes / 2}
-		hooks := core.Hooks{
-			Quiesce:   m.quiesce,
-			Unquiesce: m.unquiesce,
-			Advanced: func(cn msg.CN) {
-				m.obs.CheckpointAdvanced(uint64(m.Eng.Now()), uint32(cn))
-			},
-			RecoveryStarted: func(cause string) {
-				m.obs.RecoveryStarted(uint64(m.Eng.Now()), cause)
-			},
-			RecoveryCompleted: func(rec core.RecoveryRecord) {
-				m.obs.RecoveryCompleted(uint64(m.Eng.Now()),
-					uint32(rec.RecoveryPoint), uint64(rec.Duration()))
-			},
-		}
 		for i, home := range m.svcHomes {
 			home := home
-			m.Svc[i] = core.NewController(m.Eng, home, p.NumNodes,
+			he := m.dom.EngineAt(home)
+			hooks := core.Hooks{
+				Quiesce:   m.quiesce,
+				Unquiesce: m.unquiesce,
+				Advanced: func(cn msg.CN) {
+					m.obs.CheckpointAdvanced(uint64(he.Now()), uint32(cn))
+				},
+				RecoveryStarted: func(cause string) {
+					m.obs.RecoveryStarted(uint64(he.Now()), cause)
+				},
+				RecoveryCompleted: func(rec core.RecoveryRecord) {
+					m.obs.RecoveryCompleted(uint64(he.Now()),
+						uint32(rec.RecoveryPoint), uint64(rec.Duration()))
+				},
+				RunSafe: func(fn func()) { m.dom.WhenSafe(home, fn) },
+			}
+			prev := he.SetOwner(home)
+			m.Svc[i] = core.NewController(he, home, p.NumNodes,
 				func(mm *msg.Message) { m.Net.Send(mm) },
 				m.Net.Epoch,
 				sim.Time(p.ValidationWatchdogCycles),
 				hooks)
+			he.SetOwner(prev)
 		}
-		m.Svc[0].Activate()
+		func() {
+			he := m.dom.EngineAt(m.svcHomes[0])
+			prev := he.SetOwner(m.svcHomes[0])
+			defer he.SetOwner(prev)
+			m.Svc[0].Activate()
+		}()
 
 		skew := make([]sim.Time, p.NumNodes)
 		if p.CheckpointClockSkewCycles > 0 {
@@ -150,7 +195,7 @@ func New(p config.Params, profile workload.Profile) *Machine {
 				skew[i] = sim.Time(r.Uint64n(p.CheckpointClockSkewCycles + 1))
 			}
 		}
-		m.Clock = core.NewClock(m.Eng, sim.Time(p.CheckpointIntervalCycles), p.NumNodes, skew,
+		m.Clock = core.NewClock(m.dom.EngineAt, sim.Time(p.CheckpointIntervalCycles), p.NumNodes, skew,
 			func() bool { return m.recovering })
 		for n := 0; n < p.NumNodes; n++ {
 			node := m.Nodes[n]
@@ -160,10 +205,14 @@ func New(p config.Params, profile workload.Profile) *Machine {
 	return m
 }
 
-// Start launches every processor (and the checkpoint clock).
+// Start launches every processor (and the checkpoint clock). Each
+// processor's event stream is owned by its node so a sharded domain can
+// order it deterministically.
 func (m *Machine) Start() {
 	for _, n := range m.Nodes {
+		prev := n.eng.SetOwner(n.ID)
 		n.Proc.Start()
+		n.eng.SetOwner(prev)
 	}
 	if m.Clock != nil {
 		m.Clock.Start()
@@ -172,7 +221,10 @@ func (m *Machine) Start() {
 
 // Run advances the simulation to the given absolute cycle (or until a
 // crash stops it) and returns the final time.
-func (m *Machine) Run(until sim.Time) sim.Time { return m.Eng.Run(until) }
+func (m *Machine) Run(until sim.Time) sim.Time { return m.dom.Run(until) }
+
+// Domain exposes the machine's scheduling domain.
+func (m *Machine) Domain() sim.Domain { return m.dom }
 
 // RPCN returns the system recovery point (1 when unprotected).
 func (m *Machine) RPCN() msg.CN {
@@ -206,7 +258,14 @@ func (m *Machine) TotalInstrs() uint64 {
 	return t
 }
 
+// quiesce and unquiesce flip the machine-global recovery flags, which
+// every shard reads. They only execute in shard-safe contexts: fault
+// paths run merged (fault arming Holds the domain), and the watchdog
+// routes its trigger through WhenSafe. The Hold keeps execution merged
+// for the whole recovery, so the multi-node recovery choreography is
+// sequential-identical.
 func (m *Machine) quiesce() {
+	m.dom.Hold()
 	m.recovering = true
 	m.Net.SetRecovering(true)
 	m.Net.BumpEpoch()
@@ -218,6 +277,7 @@ func (m *Machine) unquiesce() {
 	if m.AfterRecovery != nil {
 		m.AfterRecovery()
 	}
+	m.dom.Release()
 }
 
 // faultReporter converts a detected fault into a recovery request
@@ -245,9 +305,9 @@ func (m *Machine) crash(cause string) {
 	}
 	m.Crashed = true
 	m.CrashCause = cause
-	m.CrashTime = m.Eng.Now()
+	m.CrashTime = m.dom.Now()
 	m.obs.Crashed(uint64(m.CrashTime), cause)
-	m.Eng.Stop()
+	m.dom.Stop()
 }
 
 // flushToMem absorbs a validated dirty victim displaced during recovery
@@ -407,7 +467,7 @@ func (n *Node) onRecover(rpcn msg.CN) {
 	// Local recovery cost: log unroll (8 cycles per 64-byte entry at
 	// 8 bytes/cycle) plus the register restore.
 	cost := sim.Time(1000 + 8*entries + int(n.m.P.RegisterCheckpointCycles))
-	n.m.Eng.After(cost, func() {
+	n.eng.After(cost, func() {
 		for _, home := range n.m.svcHomes {
 			done := msg.Alloc()
 			*done = msg.Message{Type: msg.RecoverDone, Src: n.ID, Dst: home}

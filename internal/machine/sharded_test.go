@@ -1,0 +1,140 @@
+package machine
+
+import (
+	"fmt"
+	"testing"
+
+	"safetynet/internal/config"
+	"safetynet/internal/sim"
+	"safetynet/internal/workload"
+)
+
+// shardedRun executes the stress workload at the given shard count and
+// returns the observable machine state the shard count must not change.
+func shardedRun(k int, until sim.Time) (instrs, sent, rpcn uint64) {
+	p := smallConfig(true)
+	p.Seed = 11
+	p.EngineShards = k
+	m := New(p, workload.Stress())
+	m.Start()
+	m.Run(until)
+	s := m.Net.Stats()
+	return m.TotalInstrs(), s.Sent, uint64(m.RPCN())
+}
+
+// TestShardCountInvariance: the full machine — caches, directory,
+// checkpoint machinery, interconnect — produces identical results at
+// every shard count, including horizons that land exactly on a window
+// multiple (the terminal window must stay inclusive like the oracle's).
+func TestShardCountInvariance(t *testing.T) {
+	p := smallConfig(true)
+	window := sim.Time(p.ShardWindowCycles())
+	horizon := sim.Time(200_000)
+	counts := []int{2, 4, 16}
+	if testing.Short() {
+		// 16 lock-stepped shard goroutines under -race -cpu N spend
+		// minutes in barrier spin on small hosts; the short tier keeps
+		// the boundary math honest at a cheaper scale.
+		horizon = 60_005
+		counts = []int{2, 4}
+	}
+	for _, until := range []sim.Time{horizon, horizon - horizon%window} {
+		i1, s1, r1 := shardedRun(1, until)
+		if i1 == 0 {
+			t.Fatal("no instructions retired")
+		}
+		for _, k := range counts {
+			ik, sk, rk := shardedRun(k, until)
+			if ik != i1 || sk != s1 || rk != r1 {
+				t.Errorf("until=%d shards=%d diverged: (%d,%d,%d) vs sequential (%d,%d,%d)",
+					until, k, ik, sk, rk, i1, s1, r1)
+			}
+		}
+	}
+}
+
+// TestShardedFaultPathsMatchOracle: fault plans hold the domain in
+// merged execution, so injected faults — and the recoveries they cause
+// — replay the sequential oracle exactly at any shard count.
+func TestShardedFaultPathsMatchOracle(t *testing.T) {
+	run := func(k int) (instrs, recoveries uint64) {
+		p := smallConfig(true)
+		p.Seed = 3
+		p.EngineShards = k
+		m := New(p, workload.Stress())
+		m.Net.InjectDropOnce(60_000)
+		m.Start()
+		m.Run(250_000)
+		if m.Crashed {
+			t.Fatalf("shards=%d crashed: %s", k, m.CrashCause)
+		}
+		return m.TotalInstrs(), uint64(len(m.ActiveService().Recoveries()))
+	}
+	i1, r1 := run(1)
+	if r1 == 0 {
+		t.Fatal("precondition: the dropped message should trigger a recovery")
+	}
+	for _, k := range []int{2, 4} {
+		ik, rk := run(k)
+		if ik != i1 || rk != r1 {
+			t.Errorf("shards=%d faulty run diverged: (%d instrs, %d recoveries) vs (%d, %d)",
+				k, ik, rk, i1, r1)
+		}
+	}
+}
+
+// TestShardedQuiesceAndCoherence: quiesce (a Hold-protected global
+// transition) works under the sharded engine and leaves the caches
+// coherent.
+func TestShardedQuiesceAndCoherence(t *testing.T) {
+	p := smallConfig(true)
+	p.Seed = 5
+	p.EngineShards = 4
+	m := New(p, workload.Stress())
+	m.Start()
+	m.Run(150_000)
+	if m.Crashed {
+		t.Fatalf("fault-free sharded run crashed: %s", m.CrashCause)
+	}
+	if !m.Quiesce(200_000) {
+		t.Fatal("sharded machine failed to quiesce")
+	}
+	if errs := m.CheckCoherence(); len(errs) != 0 {
+		for _, e := range errs[:min(len(errs), 10)] {
+			t.Error(e)
+		}
+		t.Fatalf("%d coherence violations", len(errs))
+	}
+}
+
+// TestResolveShards: the config axis clamps to the node count and maps
+// non-positive values to the sequential engine.
+func TestResolveShards(t *testing.T) {
+	p := config.Default() // 16 nodes
+	for _, c := range []struct{ in, want int }{
+		{0, 1}, {-3, 1}, {1, 1}, {4, 4}, {16, 16}, {64, 16},
+	} {
+		p.EngineShards = c.in
+		if got := resolveShards(p); got != c.want {
+			t.Errorf("resolveShards(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func BenchmarkMachineSharded(b *testing.B) {
+	prof, err := workload.ByName("oltp")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, k := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", k), func(b *testing.B) {
+			cfg := config.Default()
+			cfg.EngineShards = k
+			for i := 0; i < b.N; i++ {
+				m := New(cfg, prof)
+				m.Start()
+				m.Run(500_000)
+			}
+		})
+	}
+}

@@ -3,6 +3,19 @@
 // store-and-forward hop timing, and the two fault classes of the paper's
 // running examples — a dropped message (transient) and a killed half-switch
 // that loses everything buffered inside it (hard fault).
+//
+// The network runs on a sim.Domain, so hops may execute on different
+// engine shards. Every scheduling edge that can cross shards is a hop
+// between adjacent nodes' half-switches and costs at least one switch
+// traversal plus minimum serialization — the domain's conservative
+// lookahead. Shard safety rests on ownership partitioning: the link
+// busy table is written only by the shard owning the link's source
+// endpoint, statistics and transit free lists are per shard, and the
+// route cache must be prewarmed (or the fault machinery must Hold the
+// domain) before shards route concurrently. Fault injection always
+// Holds: armed rules are global first-match state consulted on every
+// send, so a faulty run executes merged, identical to the sequential
+// oracle.
 package network
 
 import (
@@ -33,6 +46,8 @@ const (
 	DropRecovering
 	// DropUnroutable means no route existed (multi-fault partitions).
 	DropUnroutable
+
+	numDropReasons = 5
 )
 
 // Stats aggregates network activity.
@@ -47,9 +62,23 @@ type Stats struct {
 	HopsTotal  uint64
 }
 
+// shardStats is one shard's private counter block, padded so two shards
+// never share a cache line.
+type shardStats struct {
+	sent       uint64
+	delivered  uint64
+	corrupted  uint64
+	misrouted  uint64
+	duplicated uint64
+	bytesSent  uint64
+	hopsTotal  uint64
+	dropped    [numDropReasons]uint64
+	_          [32]byte
+}
+
 // transit is the traversal state of one in-flight message: its cached
 // route, current position, and per-link serialization cost. Transits are
-// recycled through a per-network free list and dispatched through the
+// recycled through per-shard free lists and dispatched through the
 // engine's arg-passing scheduler, so a hop costs no allocation.
 type transit struct {
 	m     *msg.Message
@@ -60,47 +89,64 @@ type transit struct {
 }
 
 // Network delivers messages between node network interfaces across the
-// torus. It is driven entirely by the simulation engine and is not safe
-// for concurrent use.
+// torus. It is driven entirely by the simulation domain; external callers
+// must not use it concurrently.
 type Network struct {
-	eng      *sim.Engine
-	topo     *topology.Torus
-	p        config.Params
+	dom  sim.Domain
+	topo *topology.Torus
+	p    config.Params
+	// engOf/shardOf cache the domain's per-node engine and shard.
+	engOf    []*sim.Engine
+	shardOf  []int32
 	handlers []Handler
 	// busy holds per-link release times in a dense table indexed by
 	// from*nEnt+to over link endpoints (half-switches 0..2N-1, node
-	// interfaces 2N..3N-1).
+	// interfaces 2N..3N-1). Each row is written only by the shard owning
+	// the from endpoint's node.
 	busy []sim.Time
 	nEnt int
 
 	// stepFn/deliverFn are bound once so ScheduleArg calls don't allocate
 	// a closure per hop.
-	stepFn      func(any)
-	deliverFn   func(any)
-	freeTransit *transit
+	stepFn    func(any)
+	deliverFn func(any)
+	free      []*transit // per-shard transit free lists
 
 	epoch      int
 	recovering bool
 
+	// ruleNow is the injection time drop rules read; set by Send before
+	// consulting the rules. Armed rules imply merged execution, where it
+	// is globally consistent.
+	ruleNow   sim.Time
 	dropRules []func(*msg.Message) bool
 	onDrop    func(*msg.Message, DropReason)
 	onFault   func(kind string)
 
-	stats Stats
+	sstats []shardStats
 }
 
-// New builds a network over the given torus using the timing parameters in
-// p. Handlers start nil; Attach them before sending.
-func New(eng *sim.Engine, topo *topology.Torus, p config.Params) *Network {
-	nEnt := 3 * topo.Nodes() // 2N half-switches + N node interfaces
+// New builds a network over the given torus on the given scheduling
+// domain, using the timing parameters in p. Handlers start nil; Attach
+// them before sending.
+func New(dom sim.Domain, topo *topology.Torus, p config.Params) *Network {
+	n := topo.Nodes()
+	nEnt := 3 * n // 2N half-switches + N node interfaces
 	nw := &Network{
-		eng:      eng,
+		dom:      dom,
 		topo:     topo,
 		p:        p,
-		handlers: make([]Handler, topo.Nodes()),
+		engOf:    make([]*sim.Engine, n),
+		shardOf:  make([]int32, n),
+		handlers: make([]Handler, n),
 		busy:     make([]sim.Time, nEnt*nEnt),
 		nEnt:     nEnt,
-		stats:    Stats{Dropped: make(map[DropReason]uint64)},
+		free:     make([]*transit, dom.ShardCount()),
+		sstats:   make([]shardStats, dom.ShardCount()),
+	}
+	for i := 0; i < n; i++ {
+		nw.engOf[i] = dom.EngineAt(i)
+		nw.shardOf[i] = int32(dom.ShardOf(i))
 	}
 	nw.stepFn = nw.step
 	nw.deliverFn = nw.deliverArg
@@ -110,18 +156,18 @@ func New(eng *sim.Engine, topo *topology.Torus, p config.Params) *Network {
 // nodeEnt returns the link-endpoint index of node n's network interface.
 func (nw *Network) nodeEnt(n int) int { return 2*nw.topo.Nodes() + n }
 
-func (nw *Network) allocTransit() *transit {
-	if t := nw.freeTransit; t != nil {
-		nw.freeTransit = t.next
+func (nw *Network) allocTransit(shard int32) *transit {
+	if t := nw.free[shard]; t != nil {
+		nw.free[shard] = t.next
 		return t
 	}
 	return &transit{}
 }
 
-func (nw *Network) releaseTransit(t *transit) {
+func (nw *Network) releaseTransit(shard int32, t *transit) {
 	t.m, t.route = nil, nil
-	t.next = nw.freeTransit
-	nw.freeTransit = t
+	t.next = nw.free[shard]
+	nw.free[shard] = t
 }
 
 // Attach registers the delivery handler for node n.
@@ -131,12 +177,37 @@ func (nw *Network) Attach(n int, h Handler) { nw.handlers[n] = h }
 // inspecting reconfiguration).
 func (nw *Network) Topology() *topology.Torus { return nw.topo }
 
-// Stats returns a copy of the accumulated statistics.
+// PrewarmRoutes fills the whole route cache. A sharded domain must call
+// this before running fault-free in parallel: lazy fills from concurrent
+// shards would race.
+func (nw *Network) PrewarmRoutes() {
+	n := nw.topo.Nodes()
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			nw.topo.Route(s, d)
+		}
+	}
+}
+
+// Stats returns a copy of the accumulated statistics, merged across
+// shards. Under parallel execution it is only meaningful between Run
+// calls.
 func (nw *Network) Stats() Stats {
-	s := nw.stats
-	s.Dropped = make(map[DropReason]uint64, len(nw.stats.Dropped))
-	for k, v := range nw.stats.Dropped {
-		s.Dropped[k] = v
+	s := Stats{Dropped: make(map[DropReason]uint64)}
+	for i := range nw.sstats {
+		ss := &nw.sstats[i]
+		s.Sent += ss.sent
+		s.Delivered += ss.delivered
+		s.Corrupted += ss.corrupted
+		s.Misrouted += ss.misrouted
+		s.Duplicated += ss.duplicated
+		s.BytesSent += ss.bytesSent
+		s.HopsTotal += ss.hopsTotal
+		for r, v := range ss.dropped {
+			if v != 0 {
+				s.Dropped[DropReason(r)] += v
+			}
+		}
 	}
 	return s
 }
@@ -144,8 +215,10 @@ func (nw *Network) Stats() Stats {
 // DroppedTotal sums drops across all reasons.
 func (nw *Network) DroppedTotal() uint64 {
 	var t uint64
-	for _, v := range nw.stats.Dropped {
-		t += v
+	for i := range nw.sstats {
+		for _, v := range nw.sstats[i].dropped {
+			t += v
+		}
 	}
 	return t
 }
@@ -156,12 +229,14 @@ func (nw *Network) Epoch() int { return nw.epoch }
 
 // BumpEpoch starts a new recovery epoch; every in-flight coherence message
 // becomes stale. SafetyNet recovery calls this to model draining the
-// interconnect (paper §3.6 step one).
+// interconnect (paper §3.6 step one). Callers must be in a shard-safe
+// context (the machine's quiesce runs under WhenSafe/Hold).
 func (nw *Network) BumpEpoch() { nw.epoch++ }
 
 // SetRecovering toggles recovery mode: while set, newly injected coherence
 // messages are discarded at the source (the protocol is quiesced), while
-// system-coordination messages still flow.
+// system-coordination messages still flow. Same context requirement as
+// BumpEpoch.
 func (nw *Network) SetRecovering(r bool) { nw.recovering = r }
 
 // OnDrop installs a callback invoked for every dropped message, after
@@ -182,8 +257,12 @@ func (nw *Network) noteFault(kind string) {
 
 // AddDropRule installs a predicate consulted at injection; returning true
 // silently drops the message (a transient interconnect fault). Rules are
-// responsible for their own arming/disarming state.
+// responsible for their own arming/disarming state. Arming any rule Holds
+// the domain for the rest of the run: rules are global first-match state,
+// so a faulty run executes merged (sequential-identical) rather than in
+// parallel windows.
 func (nw *Network) AddDropRule(f func(*msg.Message) bool) {
+	nw.dom.Hold()
 	nw.dropRules = append(nw.dropRules, f)
 }
 
@@ -196,13 +275,13 @@ func (nw *Network) InjectDropEvery(start, period sim.Time) func() {
 	next := start
 	armed := true
 	nw.AddDropRule(func(m *msg.Message) bool {
-		if !armed || nw.eng.Now() < next || !m.Type.IsCoherence() {
+		if !armed || nw.ruleNow < next || !m.Type.IsCoherence() {
 			return false
 		}
 		if !m.Type.CarriesData() {
 			return false // drop a data response: the highest-impact loss
 		}
-		next = nw.eng.Now() + period
+		next = nw.ruleNow + period
 		nw.noteFault("drop-every")
 		return true
 	})
@@ -216,13 +295,13 @@ func (nw *Network) InjectDropEvery(start, period sim.Time) func() {
 func (nw *Network) InjectCorruptOnce(at sim.Time) {
 	fired := false
 	nw.AddDropRule(func(m *msg.Message) bool {
-		if fired || nw.eng.Now() < at || !m.Type.IsCoherence() || !m.Type.CarriesData() {
+		if fired || nw.ruleNow < at || !m.Type.IsCoherence() || !m.Type.CarriesData() {
 			return false
 		}
 		fired = true
 		m.Corrupted = true
 		m.Data ^= 0xdeadbeef // the damage an ECC-less endpoint would consume
-		nw.stats.Corrupted++
+		nw.sstats[nw.shardOf[m.Src]].corrupted++
 		nw.noteFault("corrupt-once")
 		return false // delivered, not dropped
 	})
@@ -236,12 +315,12 @@ func (nw *Network) InjectCorruptOnce(at sim.Time) {
 func (nw *Network) InjectMisrouteOnce(at sim.Time) {
 	fired := false
 	nw.AddDropRule(func(m *msg.Message) bool {
-		if fired || nw.eng.Now() < at || !m.Type.IsCoherence() || !m.Type.CarriesData() {
+		if fired || nw.ruleNow < at || !m.Type.IsCoherence() || !m.Type.CarriesData() {
 			return false
 		}
 		fired = true
 		m.Dst = (m.Dst + 1) % len(nw.handlers)
-		nw.stats.Misrouted++
+		nw.sstats[nw.shardOf[m.Src]].misrouted++
 		nw.noteFault("misroute-once")
 		return false // delivered — to the wrong place
 	})
@@ -254,17 +333,17 @@ func (nw *Network) InjectMisrouteOnce(at sim.Time) {
 func (nw *Network) InjectDuplicateOnce(at sim.Time) {
 	fired := false
 	nw.AddDropRule(func(m *msg.Message) bool {
-		if fired || nw.eng.Now() < at || !m.Type.IsCoherence() {
+		if fired || nw.ruleNow < at || !m.Type.IsCoherence() {
 			return false
 		}
 		fired = true
-		nw.stats.Duplicated++
+		nw.sstats[nw.shardOf[m.Src]].duplicated++
 		nw.noteFault("duplicate-once")
 		dup := msg.Alloc()
 		*dup = *m
 		// Re-inject the duplicate after this send completes; drop rules
 		// are consulted again but fired is already set.
-		nw.eng.After(1, func() { nw.Send(dup) })
+		nw.engOf[m.Src].After(1, func() { nw.Send(dup) })
 		return false
 	})
 }
@@ -273,7 +352,7 @@ func (nw *Network) InjectDuplicateOnce(at sim.Time) {
 func (nw *Network) InjectDropOnce(at sim.Time) {
 	fired := false
 	nw.AddDropRule(func(m *msg.Message) bool {
-		if fired || nw.eng.Now() < at || !m.Type.IsCoherence() || !m.Type.CarriesData() {
+		if fired || nw.ruleNow < at || !m.Type.IsCoherence() || !m.Type.CarriesData() {
 			return false
 		}
 		fired = true
@@ -285,92 +364,114 @@ func (nw *Network) InjectDropOnce(at sim.Time) {
 // KillSwitchAt schedules the hard fault of the paper's Experiment 3: at
 // cycle at, half-switch s dies, losing all messages buffered in it (any
 // in-flight message that reaches s afterwards is dropped) and forcing
-// routes computed later to detour around it.
+// routes computed later to detour around it. Arming Holds the domain for
+// the rest of the run: topology reconfiguration invalidates the shared
+// route cache.
 func (nw *Network) KillSwitchAt(s topology.SwitchID, at sim.Time) {
-	nw.eng.Schedule(at, func() {
+	nw.dom.Hold()
+	nw.engOf[nw.topo.NodeOf(s)].Schedule(at, func() {
 		nw.topo.Kill(s)
 		nw.noteFault("kill-switch")
 	})
 }
 
 // Send injects m into the network. Delivery is scheduled through the
-// engine; the handler of m.Dst eventually receives the message unless a
-// fault, a recovery, or a stale epoch eats it.
+// domain; the handler of m.Dst eventually receives the message unless a
+// fault, a recovery, or a stale epoch eats it. Send must execute in the
+// scheduling context of a node on m.Src's shard (in practice: node
+// m.Src's own events, or its home service controller's).
 func (nw *Network) Send(m *msg.Message) {
 	if nw.handlers[m.Dst] == nil {
 		panic(fmt.Sprintf("network: no handler attached to node %d", m.Dst))
 	}
+	srcShard := nw.shardOf[m.Src]
+	eng := nw.engOf[m.Src]
+	ss := &nw.sstats[srcShard]
 	m.Epoch = nw.epoch
-	nw.stats.Sent++
+	ss.sent++
 	size := msg.Size(m.Type, nw.p.BlockBytes)
-	nw.stats.BytesSent += uint64(size)
+	ss.bytesSent += uint64(size)
 
 	if nw.recovering && m.Type.IsCoherence() {
-		nw.drop(m, DropRecovering)
+		nw.drop(srcShard, m, DropRecovering)
 		return
 	}
-	for _, rule := range nw.dropRules {
-		if rule(m) {
-			nw.drop(m, DropInjectedFault)
-			return
+	if len(nw.dropRules) > 0 {
+		nw.ruleNow = eng.Now()
+		for _, rule := range nw.dropRules {
+			if rule(m) {
+				nw.drop(srcShard, m, DropInjectedFault)
+				return
+			}
 		}
 	}
 
 	if m.Src == m.Dst {
 		// Local traffic bypasses the torus through the node's own
 		// network interface.
-		nw.eng.AfterArg(sim.Time(nw.p.SwitchHopCycles), nw.deliverFn, m)
+		eng.AfterArg(sim.Time(nw.p.SwitchHopCycles), nw.deliverFn, m)
 		return
 	}
 
 	route := nw.topo.Route(m.Src, m.Dst)
 	if route == nil {
-		nw.drop(m, DropUnroutable)
+		nw.drop(srcShard, m, DropUnroutable)
 		return
 	}
 	ser := sim.Time(nw.p.SerializationCycles(size))
-	t := nw.allocTransit()
+	t := nw.allocTransit(srcShard)
 	t.m, t.route, t.idx, t.ser = m, route, 0, ser
-	depart := nw.occupy(nw.nodeEnt(m.Src), int(route[0]), ser)
+	// The first hop enters the source's own half-switch: same node, same
+	// shard, so it schedules directly.
+	depart := nw.occupy(eng, nw.nodeEnt(m.Src), int(route[0]), ser)
 	arrive := depart + ser + sim.Time(nw.p.SwitchHopCycles)
-	nw.eng.ScheduleArg(arrive, nw.stepFn, t)
+	eng.ScheduleArg(arrive, nw.stepFn, t)
 }
 
 // step runs when a message arrives at its next half-switch (or, once the
-// route is exhausted, at the destination's network interface).
+// route is exhausted, at the destination's network interface). It
+// executes on the shard owning the current position's node; forwarding to
+// the next half-switch crosses nodes — and possibly shards — through the
+// domain, at a latency of at least one hop plus serialization (the
+// lookahead bound).
 func (nw *Network) step(a any) {
 	t := a.(*transit)
 	if t.idx == len(t.route) {
 		m := t.m
-		nw.releaseTransit(t)
+		nw.releaseTransit(nw.shardOf[m.Dst], t)
 		nw.deliver(m)
 		return
 	}
-	nw.stats.HopsTotal++
 	cur := t.route[t.idx]
+	curNode := nw.topo.NodeOf(cur)
+	nw.sstats[nw.shardOf[curNode]].hopsTotal++
 	if !nw.topo.Alive(cur) {
 		m := t.m
-		nw.releaseTransit(t)
-		nw.drop(m, DropDeadSwitch)
+		nw.releaseTransit(nw.shardOf[curNode], t)
+		nw.drop(nw.shardOf[curNode], m, DropDeadSwitch)
 		return
 	}
-	var to int
+	var to, toNode int
 	if t.idx == len(t.route)-1 {
-		to = nw.nodeEnt(t.m.Dst)
+		toNode = t.m.Dst
+		to = nw.nodeEnt(toNode)
 	} else {
 		to = int(t.route[t.idx+1])
+		toNode = nw.topo.NodeOf(topology.SwitchID(to))
 	}
-	depart := nw.occupy(int(cur), to, t.ser)
+	depart := nw.occupy(nw.engOf[curNode], int(cur), to, t.ser)
 	arrive := depart + t.ser + sim.Time(nw.p.SwitchHopCycles)
 	t.idx++
-	nw.eng.ScheduleArg(arrive, nw.stepFn, t)
+	nw.dom.Post(curNode, toNode, arrive, nw.stepFn, t)
 }
 
 // occupy reserves the from->to link for ser cycles starting no earlier
-// than now and returns the departure time.
-func (nw *Network) occupy(from, to int, ser sim.Time) sim.Time {
+// than now and returns the departure time. e must be the engine of the
+// shard owning the from endpoint's node: link state is partitioned by
+// source endpoint, so each busy row has exactly one writing shard.
+func (nw *Network) occupy(e *sim.Engine, from, to int, ser sim.Time) sim.Time {
 	li := from*nw.nEnt + to
-	depart := nw.eng.Now()
+	depart := e.Now()
 	if b := nw.busy[li]; b > depart {
 		depart = b
 	}
@@ -382,25 +483,26 @@ func (nw *Network) occupy(from, to int, ser sim.Time) sim.Time {
 func (nw *Network) deliverArg(a any) { nw.deliver(a.(*msg.Message)) }
 
 func (nw *Network) deliver(m *msg.Message) {
+	dstShard := nw.shardOf[m.Dst]
 	if m.Type.IsCoherence() {
 		if m.Epoch != nw.epoch {
-			nw.drop(m, DropStaleEpoch)
+			nw.drop(dstShard, m, DropStaleEpoch)
 			return
 		}
 		if nw.recovering {
-			nw.drop(m, DropRecovering)
+			nw.drop(dstShard, m, DropRecovering)
 			return
 		}
 	}
-	nw.stats.Delivered++
+	nw.sstats[dstShard].delivered++
 	// Ownership of m passes to the handler, which releases it (directly
 	// or once any deferred processing it schedules completes).
 	nw.handlers[m.Dst](m)
 }
 
 // drop consumes m: after the callback it returns to the message pool.
-func (nw *Network) drop(m *msg.Message, r DropReason) {
-	nw.stats.Dropped[r]++
+func (nw *Network) drop(shard int32, m *msg.Message, r DropReason) {
+	nw.sstats[shard].dropped[r]++
 	if nw.onDrop != nil {
 		nw.onDrop(m, r)
 	}

@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"safetynet/internal/campaign"
+)
+
+// buildWorkerBinary compiles cmd/snworker into the test's temp dir so the
+// fleet below runs as real OS processes, not in-process goroutines.
+func buildWorkerBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "snworker")
+	cmd := exec.Command("go", "build", "-o", bin, "safetynet/cmd/snworker")
+	cmd.Dir = filepath.Join("..", "..") // module root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building snworker: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startWorkerProcess launches one snworker process against the daemon and
+// returns its stderr buffer. The process is SIGTERMed (clean shutdown) at
+// test cleanup; the test fails if it is not still running by then — the
+// fleet must outlive every job it drains.
+func startWorkerProcess(t *testing.T, bin, url, id string) *exec.Cmd {
+	t.Helper()
+	var stderr bytes.Buffer
+	cmd := exec.Command(bin, "-addr", url, "-id", id, "-poll", "20ms")
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState != nil {
+			t.Errorf("worker %s exited before the fleet was shut down:\n%s", id, stderr.String())
+			return
+		}
+		if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Errorf("stopping worker %s: %v", id, err)
+		}
+		if err := cmd.Wait(); err != nil {
+			t.Errorf("worker %s did not shut down cleanly: %v\n%s", id, err, stderr.String())
+		}
+	})
+	return cmd
+}
+
+// fleetCampaign is one of the five queued campaigns: seeds staggered per
+// campaign so the five reports are all distinct.
+func fleetCampaign(i int) *campaign.Campaign {
+	c := testCampaign()
+	c.Name = fmt.Sprintf("fleet-%d", i)
+	c.Seeds = &campaign.SeedRange{Start: uint64(1 + 10*i), Count: 2}
+	return c
+}
+
+// TestWorkerFleetDrainsQueuedCampaigns closes ROADMAP item 1's leftover:
+// five campaigns queued into one snserved daemon, drained entirely by a
+// two-process snworker fleet that outlives each job, every report
+// byte-identical to an uninterrupted local single-worker run.
+func TestWorkerFleetDrainsQueuedCampaigns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs a multi-process worker fleet")
+	}
+	bin := buildWorkerBinary(t)
+	d := startDaemonWith(t, Options{
+		StoreDir: t.TempDir(), Workers: 2, CheckpointEvery: 1,
+		WorkersOnly: true, LeaseTTL: 5 * time.Second,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	// Queue all five jobs before any worker exists: the fleet drains a
+	// backlog, not a trickle.
+	const jobs = 5
+	ids := make([]string, jobs)
+	for i := 0; i < jobs; i++ {
+		st, err := d.cl.Submit(ctx, encodeCampaign(t, fleetCampaign(i)), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = st.ID
+	}
+
+	startWorkerProcess(t, bin, d.ts.URL, "fleet-a")
+	startWorkerProcess(t, bin, d.ts.URL, "fleet-b")
+
+	for i, id := range ids {
+		fin, err := d.cl.Wait(ctx, id, 20*time.Millisecond)
+		if err != nil {
+			t.Fatalf("campaign %d: %v", i, err)
+		}
+		if fin.State != StateDone || fin.Done != 8 {
+			t.Fatalf("campaign %d final status = %+v", i, fin)
+		}
+	}
+
+	// Reports match local runs in every served format. The fleet is
+	// still alive here — the cleanup hooks assert that too.
+	for i, id := range ids {
+		for _, format := range []string{"text", "json", "csv"} {
+			served, err := d.cl.Report(ctx, id, format)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := localReport(t, fleetCampaign(i), format); !bytes.Equal(served, want) {
+				t.Fatalf("campaign %d %s report from the fleet differs from the local run:\n--- served ---\n%s\n--- local ---\n%s",
+					i, format, served, want)
+			}
+		}
+		assertOneRecordPerIndex(t, d.s.opts.StoreDir, id, 8)
+	}
+}

@@ -3,9 +3,18 @@
 // cache and directory controllers, network switches, the checkpoint clock,
 // and the service controllers.
 //
-// The engine is single-threaded and fully deterministic: events scheduled
-// for the same cycle fire in FIFO order of scheduling, so two runs with the
-// same seed produce bit-identical results. Determinism matters here beyond
+// The engine is single-threaded and fully deterministic. Events within one
+// cycle fire in (owner, class, key) order, where the owner is the node the
+// event belongs to (-1 for global events), the class separates node-local
+// schedules from cross-node posts, and the key is a per-owner sequence
+// number. Ownerless workloads — everything scheduled while the current
+// owner is -1 — degenerate to plain FIFO-within-cycle order, so components
+// that never annotate owners keep the engine's historical behavior.
+// Because every part of the key is intrinsic to the scheduling site (never
+// derived from arrival order at a queue), the order is identical whether
+// the events run on one engine or on the sharded engine's partitioned
+// queues; that is the determinism contract that makes sharded runs
+// byte-identical to the sequential oracle. Determinism matters here beyond
 // reproducibility — SafetyNet recovery re-executes work from a restored
 // checkpoint, and the tests compare re-executed state against reference
 // executions.
@@ -46,31 +55,76 @@ type slot struct {
 	afn      func(any)
 	arg      any
 	at       Time
-	seq      uint64
+	owner    int32
+	key      uint64
 	next     int32
 	gen      uint32
 	canceled bool
 }
 
-// bucket is a FIFO list of slots for one cycle, linked through slot.next.
+// bucket is a key-ordered list of slots for one cycle, linked through
+// slot.next.
 type bucket struct{ head, tail int32 }
 
-// ovEntry is an overflow-heap element ordered by (at, seq).
+// ovEntry is an overflow-heap element ordered by (at, owner, key).
 type ovEntry struct {
-	at  Time
-	seq uint64
-	idx int32
+	at    Time
+	key   uint64
+	idx   int32
+	owner int32
 }
+
+// remoteClass marks keys of cross-node posts: within one (cycle, owner)
+// all node-local schedules order before all posts, and posts order among
+// themselves by (source owner, per-source post sequence) — both intrinsic
+// to the sending site, so the order cannot depend on shard layout.
+const remoteClass = uint64(1) << 63
+
+// remoteKey packs a post's ordering key from its source owner and the
+// source's post sequence number. 19 bits of source (up to 512K nodes)
+// over 44 bits of sequence; either overflowing is beyond any plausible
+// simulation length.
+func remoteKey(src int32, seq uint64) uint64 {
+	return remoteClass | uint64(uint32(src+1))<<44 | seq
+}
+
+// keyLess orders two events within one cycle. The global owner (-1)
+// sorts first; uint32 conversion maps -1 below every real node.
+func keyLess(o1 int32, k1 uint64, o2 int32, k2 uint64) bool {
+	if o1 != o2 {
+		return uint32(o1+1) < uint32(o2+1)
+	}
+	return k1 < k2
+}
+
+// eventLess is keyLess extended with the cycle.
+func eventLess(a1 Time, o1 int32, k1 uint64, a2 Time, o2 int32, k2 uint64) bool {
+	if a1 != a2 {
+		return a1 < a2
+	}
+	return keyLess(o1, k1, o2, k2)
+}
+
+// ownerCtr holds one owner's key counters: local counts ordinary
+// schedules made while that owner executes, remote counts its cross-node
+// posts.
+type ownerCtr struct{ local, remote uint64 }
 
 // Engine is a discrete-event simulator. The zero value is not usable; use
 // NewEngine.
 type Engine struct {
 	now     Time
-	seq     uint64
 	stopped bool
 	// Executed counts events dispatched since construction; useful for
 	// detecting livelock in stress tests.
 	executed uint64
+
+	// curOwner is the owner of the currently dispatching event (-1
+	// between events and for setup code); schedules inherit it.
+	curOwner int32
+	// owners holds per-owner key counters, indexed by owner+1 and grown
+	// on demand.
+	owners []ownerCtr
 
 	// base is the wheel window start: every pending event with
 	// at < base+wheelSize sits in buckets, everything later in overflow.
@@ -85,18 +139,48 @@ type Engine struct {
 
 	slots []slot
 	free  int32 // free-list head, -1 when empty
+
+	// pk* cache the earliest pending event's key between peeks; the
+	// sharded engine's merged executor peeks every shard per dispatch,
+	// and the cache keeps that O(1) for shards whose head is far away.
+	pkValid bool
+	pkAt    Time
+	pkOwner int32
+	pkKey   uint64
 }
 
 // NewEngine returns an engine with an empty event queue at cycle 0.
 func NewEngine() *Engine {
 	e := &Engine{
-		buckets: make([]bucket, wheelSize),
-		free:    -1,
+		buckets:  make([]bucket, wheelSize),
+		free:     -1,
+		curOwner: -1,
 	}
 	for i := range e.buckets {
 		e.buckets[i] = bucket{head: -1, tail: -1}
 	}
 	return e
+}
+
+// SetOwner sets the owner attributed to subsequent schedules and returns
+// the previous owner. Construction and start-up code brackets per-node
+// setup with it; during dispatch the engine tracks the executing event's
+// owner automatically. Owner -1 means global.
+func (e *Engine) SetOwner(owner int) int {
+	prev := e.curOwner
+	e.curOwner = int32(owner)
+	return int(prev)
+}
+
+// Owner returns the owner currently attributed to schedules.
+func (e *Engine) Owner() int { return int(e.curOwner) }
+
+func (e *Engine) ctr(owner int32) *ownerCtr {
+	oi := int(owner) + 1
+	for oi >= len(e.owners) {
+		e.owners = append(e.owners, ownerCtr{})
+	}
+	return &e.owners[oi]
 }
 
 // Now returns the current simulation time.
@@ -127,20 +211,54 @@ func (e *Engine) freeSlot(i int32) {
 	e.free = i
 }
 
+// bucketInsert places slot i into its cycle bucket in key order. The
+// common case — ascending keys, e.g. a single owner scheduling in
+// program order — appends at the tail in O(1).
+func (e *Engine) bucketInsert(b *bucket, i int32) {
+	s := &e.slots[i]
+	s.next = -1
+	if b.tail < 0 {
+		b.head, b.tail = i, i
+		return
+	}
+	if t := &e.slots[b.tail]; keyLess(t.owner, t.key, s.owner, s.key) {
+		t.next = i
+		b.tail = i
+		return
+	}
+	if h := &e.slots[b.head]; keyLess(s.owner, s.key, h.owner, h.key) {
+		s.next = b.head
+		b.head = i
+		return
+	}
+	prev := b.head
+	for {
+		nx := e.slots[prev].next
+		if nx < 0 {
+			e.slots[prev].next = i
+			b.tail = i
+			return
+		}
+		if n := &e.slots[nx]; keyLess(s.owner, s.key, n.owner, n.key) {
+			s.next = nx
+			e.slots[prev].next = i
+			return
+		}
+		prev = nx
+	}
+}
+
 // enqueue places an already-filled slot into the wheel or the overflow.
 func (e *Engine) enqueue(i int32) {
 	s := &e.slots[i]
+	if e.pkValid && eventLess(s.at, s.owner, s.key, e.pkAt, e.pkOwner, e.pkKey) {
+		e.pkValid = false
+	}
 	if s.at < e.base+wheelSize {
-		b := &e.buckets[s.at&wheelMask]
-		if b.tail >= 0 {
-			e.slots[b.tail].next = i
-		} else {
-			b.head = i
-		}
-		b.tail = i
+		e.bucketInsert(&e.buckets[s.at&wheelMask], i)
 		e.wheelCount++
 	} else {
-		e.ovPush(ovEntry{at: s.at, seq: s.seq, idx: i})
+		e.ovPush(ovEntry{at: s.at, owner: s.owner, key: s.key, idx: i})
 	}
 	e.pending++
 }
@@ -149,15 +267,46 @@ func (e *Engine) schedule(at Time, fn Event, afn func(any), arg any) int32 {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %d before now %d", at, e.now))
 	}
-	e.seq++
+	owner := e.curOwner
+	c := e.ctr(owner)
 	i := e.allocSlot()
 	s := &e.slots[i]
 	s.fn, s.afn, s.arg = fn, afn, arg
-	s.at, s.seq = at, e.seq
-	s.next = -1
+	s.at, s.owner, s.key = at, owner, c.local
+	c.local++
 	s.canceled = false
 	e.enqueue(i)
 	return i
+}
+
+// post schedules a cross-node event: it runs in owner's context but its
+// key is derived from the sending owner's post counter, making the
+// within-cycle order shard-layout-invariant.
+func (e *Engine) post(at Time, owner int32, afn func(any), arg any) {
+	e.enqueueKeyed(at, owner, e.nextRemoteKey(), nil, afn, arg)
+}
+
+// nextRemoteKey consumes the current owner's next post key.
+func (e *Engine) nextRemoteKey() uint64 {
+	c := e.ctr(e.curOwner)
+	k := remoteKey(e.curOwner, c.remote)
+	c.remote++
+	return k
+}
+
+// enqueueKeyed schedules an event carrying a pre-assigned (owner, key);
+// the sharded engine's inbox drain uses it to apply cross-shard handoffs
+// with the keys their senders computed.
+func (e *Engine) enqueueKeyed(at Time, owner int32, key uint64, fn Event, afn func(any), arg any) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: post at %d before now %d", at, e.now))
+	}
+	i := e.allocSlot()
+	s := &e.slots[i]
+	s.fn, s.afn, s.arg = fn, afn, arg
+	s.at, s.owner, s.key = at, owner, key
+	s.canceled = false
+	e.enqueue(i)
 }
 
 // Schedule registers fn to run at absolute cycle at. Scheduling in the past
@@ -207,6 +356,7 @@ func (c Canceler) Cancel() {
 	// Drop callback references early; the slot itself is recycled when
 	// its bucket (or the overflow) reaches it.
 	s.fn, s.afn, s.arg = nil, nil, nil
+	c.e.pkValid = false
 }
 
 // ScheduleCancelable is like Schedule but returns a Canceler. It is used
@@ -264,28 +414,17 @@ func (e *Engine) ovPop() ovEntry {
 }
 
 func ovLess(a, b ovEntry) bool {
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	return a.seq < b.seq
+	return eventLess(a.at, a.owner, a.key, b.at, b.owner, b.key)
 }
 
 // migrate moves every overflow event inside the current wheel window into
-// its bucket. Entries pop in (at, seq) order, so FIFO-within-cycle order
-// is preserved relative both to each other and to events scheduled
-// directly into the window afterwards (their seq is necessarily higher).
+// its bucket; ordered bucket insertion restores the within-cycle key
+// order regardless of interleaving with directly scheduled events.
 func (e *Engine) migrate() {
 	horizon := e.base + wheelSize
 	for len(e.overflow) > 0 && e.overflow[0].at < horizon {
 		v := e.ovPop()
-		b := &e.buckets[v.at&wheelMask]
-		if b.tail >= 0 {
-			e.slots[b.tail].next = v.idx
-		} else {
-			b.head = v.idx
-		}
-		e.slots[v.idx].next = -1
-		b.tail = v.idx
+		e.bucketInsert(&e.buckets[v.at&wheelMask], v.idx)
 		e.wheelCount++
 	}
 }
@@ -296,6 +435,7 @@ func (e *Engine) migrate() {
 // starting time if nothing ran).
 func (e *Engine) Run(until Time) Time {
 	e.stopped = false
+	e.pkValid = false
 	for e.pending > 0 && !e.stopped {
 		if e.wheelCount == 0 {
 			// Nothing inside the window: jump straight to the earliest
@@ -319,12 +459,14 @@ func (e *Engine) Run(until Time) Time {
 			}
 			e.wheelCount--
 			e.pending--
-			at, fn, afn, arg, canceled := s.at, s.fn, s.afn, s.arg, s.canceled
+			at, owner := s.at, s.owner
+			fn, afn, arg, canceled := s.fn, s.afn, s.arg, s.canceled
 			e.freeSlot(i)
 			if canceled {
 				continue
 			}
 			e.now = at
+			e.curOwner = owner
 			e.executed++
 			if fn != nil {
 				fn()
@@ -365,7 +507,112 @@ func (e *Engine) Run(until Time) Time {
 		e.base = e.now
 		e.migrate()
 	}
+	e.curOwner = -1
 	return e.now
+}
+
+// AdvanceTo moves the clock to t without dispatching; t must not precede
+// now and no pending event may precede t. The sharded engine uses it to
+// keep every shard's notion of "now" aligned during merged execution and
+// when fast-forwarding empty queues.
+func (e *Engine) AdvanceTo(t Time) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: advance to %d before now %d", t, e.now))
+	}
+	e.now = t
+	if e.wheelCount == 0 && e.base < t {
+		e.base = t
+		if len(e.overflow) > 0 && e.overflow[0].at < e.base+wheelSize {
+			e.migrate()
+		}
+	}
+}
+
+// peek returns the (cycle, owner, key) of the earliest pending event
+// without dispatching it, sweeping canceled events it passes. The result
+// is cached until a mutation could change it.
+func (e *Engine) peek() (at Time, owner int32, key uint64, ok bool) {
+	if e.pkValid {
+		return e.pkAt, e.pkOwner, e.pkKey, true
+	}
+	for e.pending > 0 {
+		if e.wheelCount == 0 {
+			v := e.overflow[0]
+			if e.slots[v.idx].canceled {
+				e.ovPop()
+				e.freeSlot(v.idx)
+				e.pending--
+				continue
+			}
+			e.pkValid, e.pkAt, e.pkOwner, e.pkKey = true, v.at, v.owner, v.key
+			return v.at, v.owner, v.key, true
+		}
+		for c := e.base; ; c++ {
+			b := &e.buckets[c&wheelMask]
+			for b.head >= 0 && e.slots[b.head].canceled {
+				i := b.head
+				b.head = e.slots[i].next
+				if b.head < 0 {
+					b.tail = -1
+				}
+				e.wheelCount--
+				e.pending--
+				e.freeSlot(i)
+			}
+			if b.head >= 0 {
+				s := &e.slots[b.head]
+				e.pkValid, e.pkAt, e.pkOwner, e.pkKey = true, s.at, s.owner, s.key
+				return s.at, s.owner, s.key, true
+			}
+			if e.wheelCount == 0 {
+				break // wheel held only canceled events; retry overflow
+			}
+		}
+	}
+	return 0, 0, 0, false
+}
+
+// stepOne dispatches exactly the earliest pending event (the one peek
+// reports). The merged executor interleaves stepOne across shards in
+// global key order.
+func (e *Engine) stepOne() {
+	at, _, _, ok := e.peek()
+	if !ok {
+		return
+	}
+	e.pkValid = false
+	if at > e.base {
+		// Buckets before at are empty (peek verified); slide the window
+		// and pull overflow events the new horizon covers.
+		e.base = at
+		e.migrate()
+	}
+	b := &e.buckets[at&wheelMask]
+	for b.head >= 0 {
+		i := b.head
+		s := &e.slots[i]
+		b.head = s.next
+		if b.head < 0 {
+			b.tail = -1
+		}
+		e.wheelCount--
+		e.pending--
+		owner := s.owner
+		fn, afn, arg, canceled := s.fn, s.afn, s.arg, s.canceled
+		e.freeSlot(i)
+		if canceled {
+			continue
+		}
+		e.now = at
+		e.curOwner = owner
+		e.executed++
+		if fn != nil {
+			fn()
+		} else {
+			afn(arg)
+		}
+		return
+	}
 }
 
 // Drain discards every pending event. SafetyNet recovery uses this to model
@@ -391,4 +638,5 @@ func (e *Engine) Drain() {
 	e.overflow = e.overflow[:0]
 	e.pending = 0
 	e.base = e.now
+	e.pkValid = false
 }

@@ -1,0 +1,383 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// trace records one dispatched event for order comparison.
+type trace struct {
+	At   Time
+	Node int
+	Tag  int
+}
+
+// contiguous assigns nodes to shards in balanced contiguous ranges, the
+// same shape topology.Partition produces.
+func contiguous(nodes, shards int) []int32 {
+	assign := make([]int32, nodes)
+	base, extra := nodes/shards, nodes%shards
+	n := 0
+	for s := 0; s < shards; s++ {
+		size := base
+		if s < extra {
+			size++
+		}
+		for i := 0; i < size; i++ {
+			assign[n] = int32(s)
+			n++
+		}
+	}
+	return assign
+}
+
+// domainFor builds a Domain over nodes with the given shard count:
+// shards == 1 gives the plain sequential engine (the oracle).
+func domainFor(nodes, shards int, window Time) Domain {
+	if shards == 1 {
+		return NewEngine()
+	}
+	return NewShardedEngine(shards, contiguous(nodes, shards), window)
+}
+
+// pingWorkload drives a deterministic event mesh: every node runs a hop
+// chain that posts to its right neighbour at exactly the lookahead
+// latency — the tightest legal cross-shard edge — plus same-cycle local
+// follow-ups to exercise within-cycle ordering. drive performs the Run
+// calls (so stride tests can chop them up). Each node's events execute
+// on exactly one goroutine, so traces collect per node and merge into
+// the canonical (cycle, node, per-node order) sequence afterwards.
+func pingWorkload(dom Domain, nodes int, until, window Time, drive func(Domain)) []trace {
+	per := make([][]trace, nodes)
+	var hop func(a any)
+	hop = func(a any) {
+		p := a.([2]int) // node, tag
+		node, tag := p[0], p[1]
+		e := dom.EngineAt(node)
+		now := e.Now()
+		per[node] = append(per[node], trace{now, node, tag})
+		if now+window > until {
+			return
+		}
+		next := (node + 1) % nodes
+		dom.Post(node, next, now+window, hop, [2]int{next, tag + 1})
+		if tag%3 == 0 {
+			e.Schedule(now, func() {
+				per[node] = append(per[node], trace{e.Now(), node, -tag})
+			})
+		}
+	}
+	for n := 0; n < nodes; n++ {
+		e := dom.EngineAt(n)
+		prev := e.SetOwner(n)
+		e.ScheduleArg(Time(1+n), hop, [2]int{n, n + 1})
+		e.SetOwner(prev)
+	}
+	drive(dom)
+	var all []trace
+	for n := range per {
+		all = append(all, per[n]...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].At < all[j].At })
+	return all
+}
+
+func runTo(until Time) func(Domain) {
+	return func(dom Domain) { dom.Run(until) }
+}
+
+// TestShardedMatchesSequential: the same workload dispatches the same
+// events at the same cycles at every shard count, including the
+// sequential oracle.
+func TestShardedMatchesSequential(t *testing.T) {
+	const nodes, until, window = 8, 2000, 12
+	want := pingWorkload(domainFor(nodes, 1, window), nodes, until, window, runTo(until))
+	if len(want) == 0 {
+		t.Fatal("workload produced no events")
+	}
+	for _, k := range []int{2, 3, 4, 8} {
+		got := pingWorkload(domainFor(nodes, k, window), nodes, until, window, runTo(until))
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("shards=%d trace diverged from sequential (%d vs %d events)", k, len(got), len(want))
+		}
+	}
+}
+
+// TestShardedStrideInvariance: chopping Run into ragged strides cannot
+// change the dispatch trace — windows sit at absolute multiples of the
+// window length, not at Run-call boundaries.
+func TestShardedStrideInvariance(t *testing.T) {
+	const nodes, until, window = 6, 1500, 10
+	want := pingWorkload(domainFor(nodes, 3, window), nodes, until, window, runTo(until))
+	got := pingWorkload(domainFor(nodes, 3, window), nodes, until, window, func(dom Domain) {
+		for _, stride := range []Time{7, 13, 3, 64, 1, 999, 2, 500} {
+			if dom.Now() >= until {
+				break
+			}
+			target := dom.Now() + stride
+			if target > until {
+				target = until
+			}
+			dom.Run(target)
+		}
+		dom.Run(until)
+	})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("strided run diverged: %d vs %d events", len(got), len(want))
+	}
+}
+
+// TestShardedWindowBoundary: an event posted to land exactly on a window
+// horizon fires at that cycle, exactly once, at every shard count.
+func TestShardedWindowBoundary(t *testing.T) {
+	const window = 10
+	for _, k := range []int{1, 2, 4} {
+		dom := domainFor(4, k, window)
+		var fired []Time
+		// Post from node 0 to node 3 (always the farthest shard) landing
+		// exactly on successive window boundaries.
+		e := dom.EngineAt(0)
+		prev := e.SetOwner(0)
+		e.Schedule(1, func() {
+			// The 6*window post lands exactly on the run horizon, itself a
+			// window multiple: the sequential Run is inclusive of its
+			// target, so the sharded run must execute that cycle too.
+			for b := Time(window); b <= 6*window; b += window {
+				dom.Post(0, 3, b, func(any) {
+					fired = append(fired, dom.EngineAt(3).Now())
+				}, nil)
+			}
+		})
+		e.SetOwner(prev)
+		dom.Run(6 * window)
+		want := []Time{window, 2 * window, 3 * window, 4 * window, 5 * window, 6 * window}
+		if !reflect.DeepEqual(fired, want) {
+			t.Fatalf("shards=%d horizon events fired at %v, want %v", k, fired, want)
+		}
+		if got := dom.Now(); got != 6*window {
+			t.Fatalf("shards=%d Now = %d, want %d", k, got, 6*window)
+		}
+	}
+}
+
+// TestShardedCrossShardBelowLookaheadPanics: a cross-shard post inside
+// the lookahead window is a scheduling-contract violation and must not
+// be silently misordered.
+func TestShardedCrossShardBelowLookaheadPanics(t *testing.T) {
+	dom := NewShardedEngine(2, contiguous(4, 2), 10)
+	violated := false
+	e := dom.EngineAt(0)
+	prev := e.SetOwner(0)
+	e.Schedule(15, func() {
+		defer func() {
+			if recover() != nil {
+				violated = true
+			}
+		}()
+		dom.Post(0, 3, 16, func(any) {}, nil) // window end is 20
+	})
+	e.SetOwner(prev)
+	dom.Run(100)
+	if !violated {
+		t.Fatal("cross-shard post below the lookahead bound did not panic")
+	}
+}
+
+// TestShardedHoldRunsMerged: while a Hold is in force the domain
+// dispatches on one goroutine in exact global order and WhenSafe runs
+// immediately.
+func TestShardedHoldRunsMerged(t *testing.T) {
+	dom := NewShardedEngine(2, contiguous(4, 2), 10)
+	dom.Hold()
+	var order []int
+	safe := 0
+	for n := 0; n < 4; n++ {
+		n := n
+		e := dom.EngineAt(n)
+		prev := e.SetOwner(n)
+		e.Schedule(5, func() {
+			order = append(order, n)
+			dom.WhenSafe(n, func() { safe++ })
+			if safe != len(order) {
+				t.Errorf("WhenSafe deferred under Hold (safe=%d after %d events)", safe, len(order))
+			}
+		})
+		e.SetOwner(prev)
+	}
+	dom.Run(100)
+	if !reflect.DeepEqual(order, []int{0, 1, 2, 3}) {
+		t.Fatalf("merged dispatch order %v, want owner order", order)
+	}
+	dom.Release()
+	if dom.Now() != 100 {
+		t.Fatalf("Now = %d, want 100", dom.Now())
+	}
+}
+
+// TestShardedWhenSafeDefersInParallel: during a parallel window WhenSafe
+// defers to the barrier and runs deferrals in (cycle, owner) order, even
+// across an intervening mid-window Run boundary.
+func TestShardedWhenSafeDefersInParallel(t *testing.T) {
+	dom := NewShardedEngine(4, contiguous(4, 4), 10)
+	var ran []int
+	for n := 0; n < 4; n++ {
+		n := n
+		e := dom.EngineAt(n)
+		prev := e.SetOwner(n)
+		// All four shards register a deferral at cycle 5, inside the
+		// first window; they must run at the barrier sorted by owner.
+		e.Schedule(5, func() {
+			dom.WhenSafe(n, func() { ran = append(ran, n) })
+		})
+		e.SetOwner(prev)
+	}
+	dom.Run(7) // rests mid-window: the barrier has not been reached yet
+	if len(ran) != 0 {
+		t.Fatalf("deferrals ran before the window barrier: %v", ran)
+	}
+	dom.Run(100)
+	if !reflect.DeepEqual(ran, []int{0, 1, 2, 3}) {
+		t.Fatalf("deferred order %v, want owner order", ran)
+	}
+}
+
+// TestShardedStopAtBarrier: Stop from inside a window takes effect at
+// the next barrier and Run returns early; the next Run resumes.
+func TestShardedStopAtBarrier(t *testing.T) {
+	dom := NewShardedEngine(2, contiguous(2, 2), 10)
+	e := dom.EngineAt(0)
+	prev := e.SetOwner(0)
+	e.Schedule(25, func() { dom.Stop() })
+	e.SetOwner(prev)
+	reached := dom.Run(1000)
+	if !dom.Stopped() {
+		t.Fatal("Stopped() = false after Stop")
+	}
+	if reached >= 1000 {
+		t.Fatalf("Run ran to %d despite Stop", reached)
+	}
+	if got := dom.Run(1000); got != 1000 {
+		t.Fatalf("resumed Run = %d, want 1000", got)
+	}
+}
+
+// TestShardedEmptyFastForward: an idle domain jumps straight to the
+// target without spinning through empty windows.
+func TestShardedEmptyFastForward(t *testing.T) {
+	dom := NewShardedEngine(4, contiguous(8, 4), 12)
+	if got := dom.Run(1_000_000_000); got != 1_000_000_000 {
+		t.Fatalf("Run = %d", got)
+	}
+	for n := 0; n < 8; n++ {
+		if now := dom.EngineAt(n).Now(); now != 1_000_000_000 {
+			t.Fatalf("node %d clock at %d after fast-forward", n, now)
+		}
+	}
+	if dom.Executed() != 0 {
+		t.Fatalf("Executed = %d on an empty domain", dom.Executed())
+	}
+}
+
+// TestShardedAccessors covers the Domain bookkeeping surface, including
+// the sequential engine's degenerate implementation.
+func TestShardedAccessors(t *testing.T) {
+	assign := contiguous(6, 3)
+	dom := NewShardedEngine(3, assign, 10)
+	if dom.ShardCount() != 3 {
+		t.Fatalf("ShardCount = %d", dom.ShardCount())
+	}
+	if dom.Window() != 10 {
+		t.Fatalf("Window = %d", dom.Window())
+	}
+	for n := 0; n < 6; n++ {
+		if dom.ShardOf(n) != int(assign[n]) {
+			t.Fatalf("ShardOf(%d) = %d, want %d", n, dom.ShardOf(n), assign[n])
+		}
+		if dom.EngineAt(n) == nil {
+			t.Fatalf("EngineAt(%d) nil", n)
+		}
+	}
+	var seq Domain = NewEngine()
+	if seq.ShardCount() != 1 || seq.ShardOf(5) != 0 {
+		t.Fatal("sequential Domain accessors")
+	}
+	seq.Hold()
+	seq.Release()
+	ran := false
+	seq.WhenSafe(0, func() { ran = true })
+	if !ran {
+		t.Fatal("sequential WhenSafe must run immediately")
+	}
+}
+
+// TestShardedConstructorValidation: bad shard counts, assignments, and
+// Hold bookkeeping panic rather than misassign silently.
+func TestShardedConstructorValidation(t *testing.T) {
+	for i, f := range []func(){
+		func() { NewShardedEngine(0, nil, 10) },
+		func() { NewShardedEngine(2, []int32{0, 2}, 10) },
+		func() { NewShardedEngine(2, []int32{0, -1}, 10) },
+		func() { NewShardedEngine(2, []int32{0, 1}, 0) },
+		func() {
+			se := NewShardedEngine(2, []int32{0, 1}, 10)
+			se.Release()
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestShardedPendingCountsInboxes: buffered handoffs count as pending
+// work so an idle-looking domain is not fast-forwarded past them.
+func TestShardedPendingCountsInboxes(t *testing.T) {
+	dom := NewShardedEngine(2, contiguous(2, 2), 10)
+	fired := false
+	e := dom.EngineAt(0)
+	prev := e.SetOwner(0)
+	e.Schedule(5, func() {
+		dom.Post(0, 1, 100, func(any) { fired = true }, nil)
+	})
+	e.SetOwner(prev)
+	dom.Run(7) // rests mid-window; the handoff is still buffered
+	if dom.Pending() == 0 {
+		t.Fatal("Pending = 0 with a buffered handoff")
+	}
+	dom.Run(200)
+	if !fired {
+		t.Fatal("buffered handoff never fired")
+	}
+	if dom.Executed() != 2 {
+		t.Fatalf("Executed = %d, want 2", dom.Executed())
+	}
+}
+
+func BenchmarkShardedPingThroughput(b *testing.B) {
+	for _, k := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", k), func(b *testing.B) {
+			dom := domainFor(8, k, 12)
+			var hop func(a any)
+			hop = func(a any) {
+				node := a.(int)
+				next := (node + 1) % 8
+				dom.Post(node, next, dom.EngineAt(node).Now()+12, hop, next)
+			}
+			for n := 0; n < 8; n++ {
+				e := dom.EngineAt(n)
+				prev := e.SetOwner(n)
+				e.ScheduleArg(1, hop, n)
+				e.SetOwner(prev)
+			}
+			b.ResetTimer()
+			dom.Run(Time(b.N))
+		})
+	}
+}

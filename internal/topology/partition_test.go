@@ -1,0 +1,70 @@
+package topology
+
+import "testing"
+
+func TestPartitionBalancedContiguous(t *testing.T) {
+	topo := New(4, 4)
+	for k := 1; k <= 16; k++ {
+		assign := topo.Partition(k)
+		if len(assign) != 16 {
+			t.Fatalf("k=%d: assignment covers %d nodes", k, len(assign))
+		}
+		sizes := make([]int, k)
+		prev := int32(0)
+		for n, s := range assign {
+			if s < prev || s > prev+1 {
+				t.Fatalf("k=%d: assignment not contiguous at node %d: %v", k, n, assign)
+			}
+			prev = s
+			sizes[s]++
+		}
+		min, max := sizes[0], sizes[0]
+		for _, sz := range sizes[1:] {
+			if sz < min {
+				min = sz
+			}
+			if sz > max {
+				max = sz
+			}
+		}
+		if min == 0 || max-min > 1 {
+			t.Fatalf("k=%d: unbalanced shard sizes %v", k, sizes)
+		}
+	}
+}
+
+func TestPartitionRejectsBadCounts(t *testing.T) {
+	topo := New(4, 4)
+	for _, k := range []int{0, -1, 17} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Partition(%d) did not panic", k)
+				}
+			}()
+			topo.Partition(k)
+		}()
+	}
+}
+
+func TestMinCrossPartitionLatency(t *testing.T) {
+	topo := New(4, 4)
+	// One shard: no adjacency crosses, so no synchronization is needed.
+	if got := topo.MinCrossPartitionLatency(topo.Partition(1), 10, 2); got != 0 {
+		t.Errorf("single shard lookahead = %d, want 0", got)
+	}
+	// Any real split pays exactly one adjacent switch hop.
+	for _, k := range []int{2, 3, 4, 16} {
+		if got := topo.MinCrossPartitionLatency(topo.Partition(k), 10, 2); got != 12 {
+			t.Errorf("k=%d lookahead = %d, want 12", k, got)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("short assignment did not panic")
+			}
+		}()
+		topo.MinCrossPartitionLatency(make([]int32, 3), 10, 2)
+	}()
+}

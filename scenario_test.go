@@ -33,7 +33,10 @@ func TestScenarioFlagEquivalence(t *testing.T) {
 		fault   FaultEvent
 	}{
 		{"dropped message", "apache", 3_000_000, DropOnce(1_000_000)},
-		{"killed half-switch", "jbb", 2_500_000, KillEWSwitch(5, 1_000_000)},
+		// The kill must catch a message in flight through the switch to
+		// manifest (in-flight state at the kill cycle shifts whenever the
+		// engine's within-cycle ordering contract changes).
+		{"killed half-switch", "jbb", 2_500_000, KillEWSwitch(5, 1_300_000)},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

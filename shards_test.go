@@ -1,0 +1,56 @@
+package safetynet
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// shortShardBudgetCycles mirrors cmd/snsim's -short scaling so the
+// invariance sweep stays affordable in -short CI lanes.
+const shortShardBudgetCycles = 1_600_000
+
+// TestScenarioShardInvariance: every checked-in example scenario
+// produces a byte-identical Result at shards = 1, 2, and 4. This is the
+// parallel engine's core contract — the shard count is an execution
+// knob, never part of the experiment description.
+func TestScenarioShardInvariance(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("examples", "scenarios", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 6 {
+		t.Fatalf("expected the six checked-in example scenarios, found %d: %v", len(paths), paths)
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			t.Parallel()
+			results := make(map[int]Result, 3)
+			for _, k := range []int{1, 2, 4} {
+				sc, err := LoadScenario(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if testing.Short() {
+					sc.ScaleTo(shortShardBudgetCycles)
+				}
+				shards := k
+				sc.Overrides = sc.Overrides.Merge(&ScenarioOverrides{EngineShards: &shards})
+				res, err := sc.Run()
+				if err != nil {
+					t.Fatalf("shards=%d: %v", k, err)
+				}
+				results[k] = res
+			}
+			for _, k := range []int{2, 4} {
+				if results[k] != results[1] {
+					t.Errorf("shards=%d diverged from the sequential oracle:\n got %+v\nwant %+v",
+						k, results[k], results[1])
+				}
+			}
+			if results[1].Instrs == 0 {
+				t.Error("precondition: the scenario should have retired instructions")
+			}
+		})
+	}
+}
