@@ -1,0 +1,12 @@
+package allocfree_test
+
+import (
+	"testing"
+
+	"safetynet/internal/analysis/allocfree"
+	"safetynet/internal/analysis/analysistest"
+)
+
+func TestAllocfree(t *testing.T) {
+	analysistest.Run(t, "testdata", allocfree.Analyzer, "a")
+}

@@ -1,0 +1,196 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the repository's own
+// stdlib-only analysis framework.
+//
+// Fixtures live in a GOPATH-style tree: <testdata>/src/<pkg>/*.go. A
+// line expecting diagnostics carries a trailing comment of the form
+//
+//	// want "regexp" "another regexp"
+//
+// with one quoted (or backquoted) regular expression per expected
+// diagnostic on that line. Runs fail on unmatched expectations and on
+// unexpected diagnostics both, so negative fixtures (annotation
+// escapes) prove suppression simply by carrying no want comments.
+package analysistest
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"safetynet/internal/analysis"
+)
+
+// want is one expected diagnostic.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+var wantRE = regexp.MustCompile("//[ \t]*want[ \t]+(.*)$")
+
+// parseWants scans one fixture file for want comments.
+func parseWants(path string) ([]*want, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var wants []*want
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := wantRE.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			rest := strings.TrimSpace(m[1])
+			for rest != "" {
+				var lit string
+				switch rest[0] {
+				case '"':
+					end := strings.Index(rest[1:], `"`)
+					if end < 0 {
+						return nil, fmt.Errorf("%s:%d: unterminated want pattern", path, line)
+					}
+					var uerr error
+					lit, uerr = strconv.Unquote(rest[:end+2])
+					if uerr != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern %s: %v", path, line, rest[:end+2], uerr)
+					}
+					rest = strings.TrimSpace(rest[end+2:])
+				case '`':
+					end := strings.Index(rest[1:], "`")
+					if end < 0 {
+						return nil, fmt.Errorf("%s:%d: unterminated want pattern", path, line)
+					}
+					lit = rest[1 : end+1]
+					rest = strings.TrimSpace(rest[end+2:])
+				default:
+					return nil, fmt.Errorf("%s:%d: malformed want comment near %q", path, line, rest)
+				}
+				re, rerr := regexp.Compile(lit)
+				if rerr != nil {
+					return nil, fmt.Errorf("%s:%d: bad want regexp: %v", path, line, rerr)
+				}
+				wants = append(wants, &want{file: path, line: line, re: re, raw: lit})
+			}
+		}
+	}
+	return wants, nil
+}
+
+// Run loads each fixture package from testdata/src, applies the
+// analyzer, and reports mismatches between its diagnostics and the
+// fixtures' want comments. It returns the findings for further
+// assertions (e.g. suggested-fix tests).
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) []analysis.Finding {
+	t.Helper()
+	srcRoot := filepath.Join(testdata, "src")
+	loader := analysis.NewLoader("")
+	pkgs, err := loader.LoadFixtures(srcRoot, pkgPaths...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	findings, err := analysis.Run([]*analysis.Analyzer{a}, pkgs)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	var wants []*want
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			path := pkg.Fset.File(f.Pos()).Name()
+			ws, err := parseWants(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wants = append(wants, ws...)
+		}
+	}
+
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != f.Pos.Filename || w.line != f.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(f.Diag.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", posString(f.Pos.Filename, f.Pos.Line), f.Diag.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s: no diagnostic matching %q", posString(w.file, w.line), w.raw)
+		}
+	}
+	return findings
+}
+
+// RunFixes runs the analyzer on the fixture packages, applies every
+// suggested fix, and compares each changed file against its .golden
+// sibling. Set UPDATE_GOLDEN=1 to regenerate.
+func RunFixes(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	srcRoot := filepath.Join(testdata, "src")
+	loader := analysis.NewLoader("")
+	pkgs, err := loader.LoadFixtures(srcRoot, pkgPaths...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	findings, err := analysis.Run([]*analysis.Analyzer{a}, pkgs)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	var fset *token.FileSet
+	if len(pkgs) > 0 {
+		fset = pkgs[0].Fset
+	}
+	fixed, err := analysis.ApplyFixes(fset, findings)
+	if err != nil {
+		t.Fatalf("applying fixes: %v", err)
+	}
+	if len(fixed) == 0 {
+		t.Fatalf("no suggested fixes produced")
+	}
+	for name, got := range fixed {
+		golden := name + ".golden"
+		if os.Getenv("UPDATE_GOLDEN") != "" {
+			if err := os.WriteFile(golden, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		wantB, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("missing golden for fixed %s (run with UPDATE_GOLDEN=1): %v", name, err)
+		}
+		if string(wantB) != string(got) {
+			t.Errorf("fixed %s differs from %s:\n--- got ---\n%s\n--- want ---\n%s", name, golden, got, wantB)
+		}
+	}
+}
+
+func posString(file string, line int) string {
+	return fmt.Sprintf("%s:%d", file, line)
+}

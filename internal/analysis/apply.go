@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+)
+
+// ApplyFixes applies every suggested fix in findings to the affected
+// files and returns the new contents keyed by filename. Overlapping
+// edits are rejected — mechanical fixes must be independent. Files are
+// not written; the caller decides (snvet -fix writes, tests compare
+// against goldens).
+func ApplyFixes(fset *token.FileSet, findings []Finding) (map[string][]byte, error) {
+	type edit struct {
+		start, end int // byte offsets
+		text       []byte
+	}
+	perFile := map[string][]edit{}
+	for _, f := range findings {
+		for _, fix := range f.Diag.SuggestedFixes {
+			for _, te := range fix.TextEdits {
+				file := fset.File(te.Pos)
+				if file == nil {
+					return nil, fmt.Errorf("fix %q: invalid position", fix.Message)
+				}
+				end := te.End
+				if !end.IsValid() {
+					end = te.Pos
+				}
+				perFile[file.Name()] = append(perFile[file.Name()], edit{
+					start: file.Offset(te.Pos),
+					end:   file.Offset(end),
+					text:  te.NewText,
+				})
+			}
+		}
+	}
+	out := map[string][]byte{}
+	for name, edits := range perFile {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start < edits[j].start })
+		for i := 1; i < len(edits); i++ {
+			if edits[i].start < edits[i-1].end {
+				return nil, fmt.Errorf("%s: overlapping suggested fixes at offset %d", name, edits[i].start)
+			}
+		}
+		var buf []byte
+		last := 0
+		for _, e := range edits {
+			buf = append(buf, src[last:e.start]...)
+			buf = append(buf, e.text...)
+			last = e.end
+		}
+		buf = append(buf, src[last:]...)
+		out[name] = buf
+	}
+	return out, nil
+}

@@ -1,0 +1,50 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Parents maps every node in the files to its syntactic parent, for
+// analyzers that need to look outward from a match (enclosing function,
+// statements following a loop).
+func Parents(files []*ast.File) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	for _, f := range files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if len(stack) > 0 {
+				parents[n] = stack[len(stack)-1]
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+	return parents
+}
+
+// EnclosingFunc walks the parent chain from n to the function
+// declaration containing it, or nil for package-level code.
+func EnclosingFunc(parents map[ast.Node]ast.Node, n ast.Node) *ast.FuncDecl {
+	for cur := n; cur != nil; cur = parents[cur] {
+		if fd, ok := cur.(*ast.FuncDecl); ok {
+			return fd
+		}
+	}
+	return nil
+}
+
+// LineEnd returns the position just past the last character of the line
+// containing pos — where a trailing comment would be inserted.
+func LineEnd(fset *token.FileSet, pos token.Pos) token.Pos {
+	tf := fset.File(pos)
+	line := tf.Line(pos)
+	if line >= tf.LineCount() {
+		return token.Pos(tf.Base() + tf.Size())
+	}
+	return tf.LineStart(line+1) - 1
+}

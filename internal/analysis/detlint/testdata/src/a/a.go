@@ -1,0 +1,99 @@
+// Package a exercises detlint's diagnostics and their annotation and
+// pattern escapes.
+package a
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// mapAppendLeak feeds randomized map order into a result slice.
+func mapAppendLeak(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration feeds an append to "out"`
+		out = append(out, k)
+	}
+	return out
+}
+
+// mapSortedOK is the sanctioned pattern: collect keys, sort, use.
+func mapSortedOK(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// mapWriteLeak feeds map order straight into encoded output.
+func mapWriteLeak(w io.Writer, m map[string]uint64) {
+	for k, v := range m { // want `map iteration feeds a call to Fprintf`
+		fmt.Fprintf(w, "%s %d\n", k, v)
+	}
+}
+
+// mapStringConcatLeak accumulates onto an outer string.
+func mapStringConcatLeak(m map[string]int) string {
+	s := ""
+	for k := range m { // want `string concatenation onto "s"`
+		s += k
+	}
+	return s
+}
+
+// mapSumOK is commutative aggregation: order-insensitive, not flagged.
+func mapSumOK(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// sliceRangeOK iterates a slice: ordered, not flagged.
+func sliceRangeOK(w io.Writer, xs []int) {
+	for i, v := range xs {
+		fmt.Fprintf(w, "%d %d\n", i, v)
+	}
+}
+
+func wallclockLeak() int64 {
+	return time.Now().Unix() // want `time\.Now in deterministic package a`
+}
+
+func elapsedLeak(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since in deterministic package a`
+}
+
+func jitterLeak() int {
+	return rand.Intn(10) // want `global math/rand\.Intn`
+}
+
+// seededOK builds a local seeded generator: deterministic, not flagged.
+func seededOK(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// wallclockTrailing carries the checked annotation trailing the use.
+func wallclockTrailing() int64 {
+	return time.Now().Unix() //snvet:wallclock lease TTL clock
+}
+
+//snvet:wallclock whole function reads the wall clock by design
+func wallclockFunc() time.Time {
+	return time.Now()
+}
+
+func staleAnnotation() int {
+	x := 1 //snvet:wallclock covers nothing // want `stale //snvet:wallclock`
+	return x
+}
+
+func launches() {
+	go func() {}() // want `goroutine launched in deterministic package a`
+}

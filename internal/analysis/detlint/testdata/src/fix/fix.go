@@ -1,0 +1,29 @@
+// Package fix exercises detlint's mechanical suggested fixes: the
+// sorted-keys rewrite for a simple string-keyed map iteration, and the
+// wallclock annotation insertion.
+package fix
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Metrics leaks map order into encoded output; the suggested fix
+// rewrites the header to iterate sorted keys.
+func Metrics(w io.Writer, byState map[string]int) {
+	for st := range byState {
+		fmt.Fprintf(w, "jobs{state=%q} %d\n", st, byState[st])
+	}
+}
+
+// Sorted keeps the sort import in use after the fixture compiles.
+func Sorted(xs []string) {
+	sort.Strings(xs)
+}
+
+// Stamp picks up the inserted //snvet:wallclock annotation.
+func Stamp() int64 {
+	return time.Now().Unix()
+}

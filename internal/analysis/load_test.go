@@ -1,0 +1,70 @@
+package analysis_test
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+
+	"safetynet/internal/analysis"
+)
+
+// TestLoadModulePackage exercises module-mode loading: the target is
+// type-checked from source with dependencies served from export data,
+// with no network and no tooling beyond the go command.
+func TestLoadModulePackage(t *testing.T) {
+	l := analysis.NewLoader("")
+	pkgs, err := l.Load("safetynet/internal/msg")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.PkgPath != "safetynet/internal/msg" {
+		t.Fatalf("PkgPath = %q", p.PkgPath)
+	}
+	if p.Types.Scope().Lookup("Alloc") == nil {
+		t.Fatalf("msg.Alloc not in package scope")
+	}
+	if len(p.Files) == 0 || p.Files[0].Comments == nil {
+		t.Fatalf("ASTs must carry comments for annotation collection")
+	}
+}
+
+// TestRunReportsSorted checks the driver sorts findings by position and
+// formats them file:line:col style.
+func TestRunReportsSorted(t *testing.T) {
+	l := analysis.NewLoader("")
+	pkgs, err := l.Load("safetynet/internal/msg")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	probe := &analysis.Analyzer{
+		Name: "probe",
+		Doc:  "reports every file's package clause",
+		Run: func(pass *analysis.Pass) error {
+			for _, f := range pass.Files {
+				pass.Reportf(f.Package, "package clause")
+			}
+			return nil
+		},
+	}
+	findings, err := analysis.Run([]*analysis.Analyzer{probe}, pkgs)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(findings) == 0 {
+		t.Fatalf("probe reported nothing")
+	}
+	var prev token.Position
+	for i, f := range findings {
+		if i > 0 && f.Pos.Filename < prev.Filename {
+			t.Errorf("findings out of order: %s after %s", f.Pos.Filename, prev.Filename)
+		}
+		prev = f.Pos
+		if !strings.Contains(f.String(), "probe: package clause") {
+			t.Errorf("finding format: %s", f.String())
+		}
+	}
+}

@@ -1,0 +1,392 @@
+// Package poolcheck enforces the pooled-message ownership contract of
+// internal/msg: every *Message obtained from msg.Alloc must, on every
+// execution path, either be Released or handed off to a consuming call
+// (Network.Send, a delivery handler, storage into a structure, a
+// deferred closure) — exactly once. PR 2's zero-allocation rebuild
+// audited these release points by hand; poolcheck re-establishes that
+// audit at every edit.
+//
+// The analysis is a conservative intra-procedural must-consume walk
+// over the statement tree. "Consuming" uses of the allocated pointer:
+// passing it as a call argument (Release, Send, handlers, append),
+// storing it (assignment to a field, slice, map, or other variable,
+// composite literal, channel send), returning it, or capturing it in a
+// function literal (deferred handoff). Field reads/writes (m.Type,
+// *m = ...) and comparisons do not consume. A diagnostic means some
+// path reaches the function's end with the message neither released
+// nor handed off — the leak class the pool turns into cross-request
+// state corruption.
+package poolcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"safetynet/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "poolcheck",
+	Doc:  "reports msg.Alloc results that are neither Released nor handed off on some path",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		parents := analysis.Parents([]*ast.File{file})
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAlloc(pass, call) {
+				return true
+			}
+			checkAlloc(pass, parents, call)
+			return true
+		})
+	}
+	return nil
+}
+
+// isAlloc matches calls to the pooled allocator: a package-level
+// function named Alloc in a package whose import path is (or ends in)
+// "msg".
+func isAlloc(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != "Alloc" || fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	return path == "msg" || strings.HasSuffix(path, "/msg")
+}
+
+// checkAlloc classifies one Alloc call site and, when the result lands
+// in a local variable, runs the must-consume analysis on the code that
+// follows.
+func checkAlloc(pass *analysis.Pass, parents map[ast.Node]ast.Node, call *ast.CallExpr) {
+	parent := parents[call]
+	switch p := parent.(type) {
+	case *ast.ExprStmt:
+		pass.Reportf(call.Pos(), "result of msg.Alloc is discarded: the pooled message leaks immediately")
+		return
+	case *ast.AssignStmt:
+		// Find which LHS receives this call.
+		idx := -1
+		for i, rhs := range p.Rhs {
+			if rhs == ast.Expr(call) {
+				idx = i
+			}
+		}
+		if idx < 0 || idx >= len(p.Lhs) {
+			return
+		}
+		id, ok := p.Lhs[idx].(*ast.Ident)
+		if !ok {
+			return // stored straight into a field/element: consumed
+		}
+		if id.Name == "_" {
+			pass.Reportf(call.Pos(), "result of msg.Alloc assigned to _: the pooled message leaks immediately")
+			return
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		c := &consumeChecker{pass: pass, parents: parents, obj: obj}
+		if !c.mustConsumeAfter(p) {
+			pass.Reportf(call.Pos(),
+				"pooled message %q from msg.Alloc is neither Released nor handed off on every path (exactly one owner must call msg.Release)", id.Name)
+		}
+	default:
+		// The call is an argument, composite-literal element, or return
+		// value: ownership transfers at birth.
+	}
+}
+
+// consumeChecker runs the must-consume walk for one allocated variable.
+type consumeChecker struct {
+	pass    *analysis.Pass
+	parents map[ast.Node]ast.Node
+	obj     types.Object
+}
+
+// mustConsumeAfter reports whether every path from the statement
+// following alloc to the enclosing function's exit consumes the
+// variable. It composes the remainder of each enclosing statement list
+// from the inside out, so consumption after an enclosing if/for still
+// counts.
+func (c *consumeChecker) mustConsumeAfter(alloc ast.Stmt) bool {
+	cont := func() bool { return false } // falling off the function leaks
+	// Build the chain of enclosing statement lists outside-in first.
+	type level struct {
+		list  []ast.Stmt
+		index int
+	}
+	var chain []level
+	var node ast.Node = alloc
+	includeSelf := false
+	for {
+		parent := c.parents[node]
+		if parent == nil {
+			break
+		}
+		if _, ok := parent.(*ast.FuncDecl); ok {
+			break
+		}
+		if _, ok := parent.(*ast.FuncLit); ok {
+			break // paths inside a literal end at the literal's exit
+		}
+		if list := stmtList(parent); list != nil {
+			if st, ok := node.(ast.Stmt); ok {
+				for i, s := range list {
+					if s == st {
+						idx := i + 1
+						if includeSelf {
+							idx = i
+							includeSelf = false
+						}
+						chain = append(chain, level{list, idx})
+						break
+					}
+				}
+			}
+		} else if init := initOwner(parent, node); init {
+			// The alloc sits in an if/for/switch Init clause: the
+			// analysis must include the owning statement itself, whose
+			// branches may consume.
+			includeSelf = true
+		}
+		node = parent
+	}
+	// Compose continuations from the outermost list inward.
+	for i := len(chain) - 1; i >= 0; i-- {
+		lv := chain[i]
+		inner := cont
+		cont = memo(func() bool { return c.must(lv.list[lv.index:], inner) })
+	}
+	return cont()
+}
+
+func memo(f func() bool) func() bool {
+	done, val := false, false
+	return func() bool {
+		if !done {
+			val, done = f(), true
+		}
+		return val
+	}
+}
+
+// stmtList returns the statement list a node may be a member of.
+func stmtList(n ast.Node) []ast.Stmt {
+	switch n := n.(type) {
+	case *ast.BlockStmt:
+		return n.List
+	case *ast.CaseClause:
+		return n.Body
+	case *ast.CommClause:
+		return n.Body
+	}
+	return nil
+}
+
+// initOwner reports whether child is the Init clause of a compound
+// statement.
+func initOwner(parent, child ast.Node) bool {
+	switch p := parent.(type) {
+	case *ast.IfStmt:
+		return p.Init == child
+	case *ast.ForStmt:
+		return p.Init == child
+	case *ast.SwitchStmt:
+		return p.Init == child
+	case *ast.TypeSwitchStmt:
+		return p.Init == child
+	}
+	return false
+}
+
+// must reports whether every path through stmts consumes the variable,
+// where cont tells whether paths continuing past the end consume.
+func (c *consumeChecker) must(stmts []ast.Stmt, cont func() bool) bool {
+	if len(stmts) == 0 {
+		return cont()
+	}
+	head, tail := stmts[0], stmts[1:]
+	rest := memo(func() bool { return c.must(tail, cont) })
+	switch s := head.(type) {
+	case *ast.ReturnStmt:
+		return c.consumesAny(s)
+	case *ast.IfStmt:
+		if (s.Init != nil && c.consumesAny(s.Init)) || c.consumesAny(s.Cond) {
+			return true
+		}
+		// A branch entered only when the pointer is nil cannot leak:
+		// `if m == nil { return }` exits with nothing allocated.
+		nilBranch := c.nilComparison(s.Cond)
+		thenOK := nilBranch == token.EQL || c.must(s.Body.List, rest)
+		elseOK := false
+		switch e := s.Else.(type) {
+		case nil:
+			elseOK = nilBranch == token.NEQ || rest()
+		case *ast.BlockStmt:
+			elseOK = nilBranch == token.NEQ || c.must(e.List, rest)
+		case *ast.IfStmt:
+			elseOK = nilBranch == token.NEQ || c.must([]ast.Stmt{e}, rest)
+		}
+		return thenOK && elseOK
+	case *ast.ForStmt:
+		// The body may run zero times; consumption inside it is
+		// accepted optimistically (avoiding false positives), but the
+		// zero-iteration path must still be covered by what follows.
+		if c.consumesAny(s) {
+			return true
+		}
+		return rest()
+	case *ast.RangeStmt:
+		if c.consumesAny(s) {
+			return true
+		}
+		return rest()
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var init, tag ast.Node
+		var body *ast.BlockStmt
+		if sw, ok := s.(*ast.SwitchStmt); ok {
+			init, tag, body = sw.Init, sw.Tag, sw.Body
+		} else {
+			sw := s.(*ast.TypeSwitchStmt)
+			init, tag, body = sw.Init, sw.Assign, sw.Body
+		}
+		if (init != nil && c.consumesAny(init)) || (tag != nil && c.consumesAny(tag)) {
+			return true
+		}
+		hasDefault := false
+		for _, cl := range body.List {
+			cc := cl.(*ast.CaseClause)
+			if cc.List == nil {
+				hasDefault = true
+			}
+			if !c.must(cc.Body, rest) {
+				return false
+			}
+		}
+		if !hasDefault {
+			return rest()
+		}
+		return true
+	case *ast.SelectStmt:
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CommClause)
+			if cc.Comm != nil && c.consumesAny(cc.Comm) {
+				continue
+			}
+			if !c.must(cc.Body, rest) {
+				return false
+			}
+		}
+		return true
+	case *ast.BlockStmt:
+		return c.must(s.List, rest)
+	case *ast.LabeledStmt:
+		return c.must([]ast.Stmt{s.Stmt}, rest)
+	case *ast.BranchStmt:
+		// break/continue/goto leave this list; assume the jump target
+		// consumes (conservative against false positives).
+		return true
+	case *ast.DeferStmt:
+		if c.consumesAny(s) {
+			return true // defers run on every subsequent exit path
+		}
+		return rest()
+	default:
+		if c.consumesAny(s) {
+			return true
+		}
+		return rest()
+	}
+}
+
+// nilComparison classifies a condition comparing the tracked variable
+// against nil: token.EQL for `m == nil`, token.NEQ for `m != nil`, and
+// token.ILLEGAL for anything else.
+func (c *consumeChecker) nilComparison(cond ast.Expr) token.Token {
+	bin, ok := cond.(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+		return token.ILLEGAL
+	}
+	isObj := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && c.pass.TypesInfo.Uses[id] == c.obj
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "nil" && c.pass.TypesInfo.Uses[id] != nil &&
+			c.pass.TypesInfo.Uses[id].Parent() == types.Universe
+	}
+	if (isObj(bin.X) && isNil(bin.Y)) || (isObj(bin.Y) && isNil(bin.X)) {
+		return bin.Op
+	}
+	return token.ILLEGAL
+}
+
+// consumesAny reports whether any consuming use of the variable occurs
+// within n.
+func (c *consumeChecker) consumesAny(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := m.(*ast.Ident)
+		if !ok || c.pass.TypesInfo.Uses[id] != c.obj {
+			return true
+		}
+		if c.isConsumingUse(id) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isConsumingUse classifies one use of the tracked pointer.
+func (c *consumeChecker) isConsumingUse(id *ast.Ident) bool {
+	parent := c.parents[id]
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		// m.Field / m.Method(): access through the pointer, not a
+		// transfer of it.
+		return p.X == ast.Expr(id) && false
+	case *ast.StarExpr:
+		// *m read or write: touches the pointee, not ownership.
+		return false
+	case *ast.BinaryExpr:
+		// Comparisons (m == nil) read the pointer value only.
+		return false
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if lhs == ast.Expr(id) {
+				return false // reassignment of the variable itself
+			}
+		}
+		return true // appears on an RHS: stored/aliased somewhere
+	case *ast.CallExpr:
+		if p.Fun == ast.Expr(id) {
+			return false // calling m() — impossible for *Message, but be safe
+		}
+		return true // argument: ownership handed to the callee
+	default:
+		// Composite literals, return values, channel sends, index
+		// expressions, func-literal captures, &m — all escape the
+		// variable: treat as consumed.
+		return true
+	}
+}

@@ -1,0 +1,12 @@
+package poolcheck_test
+
+import (
+	"testing"
+
+	"safetynet/internal/analysis/analysistest"
+	"safetynet/internal/analysis/poolcheck"
+)
+
+func TestPoolcheck(t *testing.T) {
+	analysistest.Run(t, "testdata", poolcheck.Analyzer, "a")
+}

@@ -1,0 +1,162 @@
+// Package a exercises poolcheck's must-consume analysis: leaks on
+// early-return and branch paths are flagged; releases, handoffs,
+// stores, returns, closure captures, and deferred releases are not.
+package a
+
+import "msg"
+
+type network struct{ sent []*msg.Message }
+
+func (n *network) Send(m *msg.Message) { n.sent = append(n.sent, m) }
+
+func schedule(f func()) { f() }
+
+// discarded drops the allocation on the floor.
+func discarded() {
+	msg.Alloc() // want `result of msg\.Alloc is discarded`
+}
+
+// blanked assigns to the blank identifier.
+func blanked() {
+	_ = msg.Alloc() // want `assigned to _`
+}
+
+// releasedOK is the simplest balanced use.
+func releasedOK() {
+	m := msg.Alloc()
+	m.Type = 3
+	msg.Release(m)
+}
+
+// sentOK hands ownership to the network.
+func sentOK(n *network) {
+	m := msg.Alloc()
+	m.Addr = 0x40
+	n.Send(m)
+}
+
+// returnedOK transfers ownership to the caller.
+func returnedOK() *msg.Message {
+	m := msg.Alloc()
+	m.Type = 1
+	return m
+}
+
+// storedOK parks the message in a structure for later delivery.
+func storedOK(n *network) {
+	m := msg.Alloc()
+	n.sent = append(n.sent, m)
+}
+
+// closureOK captures the message in a scheduled callback — the
+// duplicate-injection pattern from internal/network.
+func closureOK(n *network) {
+	dup := msg.Alloc()
+	schedule(func() { n.Send(dup) })
+}
+
+// deferOK releases on every exit via defer.
+func deferOK(cond bool) int {
+	m := msg.Alloc()
+	defer msg.Release(m)
+	if cond {
+		return 1
+	}
+	return 2
+}
+
+// earlyReturnLeak forgets the message on the error path.
+func earlyReturnLeak(n *network, bad bool) error {
+	m := msg.Alloc() // want `neither Released nor handed off on every path`
+	m.Type = 2
+	if bad {
+		return errBad
+	}
+	n.Send(m)
+	return nil
+}
+
+// branchLeak releases in only one arm of the if.
+func branchLeak(keep bool) {
+	m := msg.Alloc() // want `neither Released nor handed off on every path`
+	if keep {
+		msg.Release(m)
+	}
+}
+
+// branchBothOK consumes in both arms.
+func branchBothOK(n *network, fwd bool) {
+	m := msg.Alloc()
+	if fwd {
+		n.Send(m)
+	} else {
+		msg.Release(m)
+	}
+}
+
+// afterIfOK consumes after the branch rejoins.
+func afterIfOK(n *network, fwd bool) {
+	m := msg.Alloc()
+	if fwd {
+		m.Type = 9
+	}
+	n.Send(m)
+}
+
+// switchLeak misses the fallthrough-free default-less path.
+func switchLeak(kind int) {
+	m := msg.Alloc() // want `neither Released nor handed off on every path`
+	switch kind {
+	case 1:
+		msg.Release(m)
+	case 2:
+		msg.Release(m)
+	}
+}
+
+// switchDefaultOK covers every case including default.
+func switchDefaultOK(n *network, kind int) {
+	m := msg.Alloc()
+	switch kind {
+	case 1:
+		n.Send(m)
+	default:
+		msg.Release(m)
+	}
+}
+
+// fieldWriteNotConsume: writing through the pointer is not a handoff.
+func fieldWriteNotConsume() {
+	m := msg.Alloc() // want `neither Released nor handed off on every path`
+	m.Addr = 0x80
+	*m = msg.Message{}
+}
+
+// nilCheckOK: comparison does not consume, the later Release does.
+func nilCheckOK() {
+	m := msg.Alloc()
+	if m == nil {
+		return
+	}
+	msg.Release(m)
+}
+
+// initClauseOK allocates in the if-init and consumes inside the branch.
+func initClauseOK(n *network, fwd bool) {
+	if m := msg.Alloc(); fwd {
+		n.Send(m)
+	} else {
+		msg.Release(m)
+	}
+}
+
+// argOK transfers ownership at the call site itself.
+func argOK(n *network) {
+	n.Send(msg.Alloc())
+}
+
+var errBad = errorString("bad")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

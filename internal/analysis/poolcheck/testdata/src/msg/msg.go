@@ -1,0 +1,15 @@
+// Package msg is a fixture stand-in for safetynet/internal/msg:
+// poolcheck identifies the allocator by the package path suffix.
+package msg
+
+// Message mirrors the pooled message shape.
+type Message struct {
+	Type int
+	Addr uint64
+}
+
+// Alloc hands out a pooled message; the caller owns it.
+func Alloc() *Message { return &Message{} }
+
+// Release returns a message to the pool.
+func Release(m *Message) { m.Type = 0 }

@@ -1,0 +1,133 @@
+// Package shardsafe enforces the sharded engine's safety contract:
+// code annotated //snvet:nodelocal runs on a shard worker under the
+// conservative-lookahead window and may only touch declarations
+// annotated //snvet:global from inside a WhenSafe callback, where the
+// domain guarantees global quiescence. Outside that window, reading or
+// writing global state (recovery flags, epoch counters, quiesce state)
+// races with other shards — the exact bug class the Domain interface
+// in internal/sim exists to prevent.
+//
+// Mechanics: for every function carrying //snvet:nodelocal in its doc
+// comment, every use of an object whose declaration carries
+// //snvet:global (same package or imported — directives are read from
+// the declaring source line) is reported, unless the use sits lexically
+// inside a function literal passed to a call named WhenSafe or RunSafe.
+package shardsafe
+
+import (
+	"go/ast"
+	"go/types"
+
+	"safetynet/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "shardsafe",
+	Doc:  "reports nodelocal code touching global declarations outside WhenSafe",
+	Run:  run,
+}
+
+// safeEntry names the calls whose function-literal arguments run under
+// global quiescence.
+var safeEntry = map[string]bool{
+	"WhenSafe": true,
+	"RunSafe":  true,
+	"runSafe":  true,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.ReadDeclDirectives == nil {
+		return nil
+	}
+	v := &visitor{pass: pass, globals: map[types.Object]bool{}}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !pass.Ann.FuncHas(fd, analysis.KindNodeLoc) {
+				continue
+			}
+			v.fn = fd.Name.Name
+			v.walk(fd.Body, false)
+		}
+	}
+	return nil
+}
+
+type visitor struct {
+	pass    *analysis.Pass
+	fn      string
+	globals map[types.Object]bool // memoized //snvet:global lookups
+}
+
+// walk traverses root; safe records whether the traversal is inside a
+// WhenSafe callback.
+func (v *visitor) walk(root ast.Node, safe bool) {
+	if root == nil {
+		return
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if v.isSafeEntry(n) {
+				v.walk(n.Fun, safe)
+				for _, a := range n.Args {
+					if fl, ok := a.(*ast.FuncLit); ok {
+						v.walk(fl.Type, safe)
+						v.walk(fl.Body, true)
+					} else {
+						v.walk(a, safe)
+					}
+				}
+				return false
+			}
+		case *ast.Ident:
+			if !safe {
+				v.checkIdent(n)
+			}
+		}
+		return true
+	})
+}
+
+// isSafeEntry reports whether call invokes one of the quiescence entry
+// points.
+func (v *visitor) isSafeEntry(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		return safeEntry[fun.Sel.Name]
+	case *ast.Ident:
+		return safeEntry[fun.Name]
+	}
+	return false
+}
+
+// checkIdent reports a use of a //snvet:global declaration.
+func (v *visitor) checkIdent(id *ast.Ident) {
+	obj := v.pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return
+	}
+	switch obj.(type) {
+	case *types.Var, *types.Func:
+	default:
+		return // types, packages, labels: not state
+	}
+	global, seen := v.globals[obj]
+	if !seen {
+		global = hasKind(v.pass.ReadDeclDirectives(obj), analysis.KindGlobal)
+		v.globals[obj] = global
+	}
+	if global {
+		v.pass.Reportf(id.Pos(),
+			"nodelocal function %q touches global %q outside WhenSafe", v.fn, obj.Name())
+	}
+}
+
+func hasKind(kinds []string, want string) bool {
+	for _, k := range kinds {
+		if k == want {
+			return true
+		}
+	}
+	return false
+}

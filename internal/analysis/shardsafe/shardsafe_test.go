@@ -1,0 +1,12 @@
+package shardsafe_test
+
+import (
+	"testing"
+
+	"safetynet/internal/analysis/analysistest"
+	"safetynet/internal/analysis/shardsafe"
+)
+
+func TestShardsafe(t *testing.T) {
+	analysistest.Run(t, "testdata", shardsafe.Analyzer, "a")
+}

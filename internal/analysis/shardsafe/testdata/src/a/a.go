@@ -1,0 +1,63 @@
+// Package a exercises shardsafe: nodelocal callbacks touching global
+// declarations directly are flagged; the same touches inside a
+// WhenSafe callback are not.
+package a
+
+import "state"
+
+type domain struct{}
+
+func (domain) WhenSafe(f func()) { f() }
+
+var dom domain
+
+//snvet:global
+var recovering bool
+
+//snvet:nodelocal
+func deliverFunc() {
+	state.BumpEpoch() // want `nodelocal function "deliverFunc" touches global "BumpEpoch"`
+}
+
+//snvet:nodelocal
+func deliverVar() {
+	state.Epoch++ // want `touches global "Epoch" outside WhenSafe`
+}
+
+//snvet:nodelocal
+func deliverSamePkg() {
+	recovering = true // want `touches global "recovering" outside WhenSafe`
+}
+
+//snvet:nodelocal
+func deliverSafe() {
+	dom.WhenSafe(func() {
+		state.BumpEpoch()
+		state.Epoch = 0
+		recovering = false
+	})
+}
+
+//snvet:nodelocal
+func deliverLocalOK() {
+	state.Counter++
+	state.Touch()
+}
+
+//snvet:nodelocal
+func nestedClosure() {
+	f := func() { state.BumpEpoch() } // want `touches global "BumpEpoch"`
+	f()
+}
+
+//snvet:nodelocal
+func safeThenUnsafe() {
+	dom.WhenSafe(func() { recovering = true })
+	recovering = false // want `touches global "recovering"`
+}
+
+// unannotated functions may touch globals freely: coordinator code.
+func coordinator() {
+	state.BumpEpoch()
+	recovering = true
+}

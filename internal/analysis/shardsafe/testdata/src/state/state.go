@@ -1,0 +1,16 @@
+// Package state is a fixture dependency holding annotated and
+// unannotated package-level state, mirroring internal/machine's
+// recovery flags and epoch counter.
+package state
+
+//snvet:global
+var Epoch uint64
+
+//snvet:global
+func BumpEpoch() { Epoch++ }
+
+// Counter is unannotated: shardsafe leaves it alone.
+var Counter int
+
+// Touch is unannotated: callable from anywhere.
+func Touch() { Counter++ }

@@ -264,6 +264,8 @@ func (m *Machine) TotalInstrs() uint64 {
 // routes its trigger through WhenSafe. The Hold keeps execution merged
 // for the whole recovery, so the multi-node recovery choreography is
 // sequential-identical.
+//
+//snvet:global flips machine-wide recovery flags and the network epoch
 func (m *Machine) quiesce() {
 	m.dom.Hold()
 	m.recovering = true
@@ -271,6 +273,7 @@ func (m *Machine) quiesce() {
 	m.Net.BumpEpoch()
 }
 
+//snvet:global flips machine-wide recovery flags
 func (m *Machine) unquiesce() {
 	m.recovering = false
 	m.Net.SetRecovering(false)

@@ -156,14 +156,16 @@ func New(dom sim.Domain, topo *topology.Torus, p config.Params) *Network {
 // nodeEnt returns the link-endpoint index of node n's network interface.
 func (nw *Network) nodeEnt(n int) int { return 2*nw.topo.Nodes() + n }
 
+//snvet:alloc-free
 func (nw *Network) allocTransit(shard int32) *transit {
 	if t := nw.free[shard]; t != nil {
 		nw.free[shard] = t.next
 		return t
 	}
-	return &transit{}
+	return &transit{} //snvet:alloc-ok pool miss; steady state reuses the per-shard free list
 }
 
+//snvet:alloc-free
 func (nw *Network) releaseTransit(shard int32, t *transit) {
 	t.m, t.route = nil, nil
 	t.next = nw.free[shard]
@@ -231,12 +233,16 @@ func (nw *Network) Epoch() int { return nw.epoch }
 // becomes stale. SafetyNet recovery calls this to model draining the
 // interconnect (paper §3.6 step one). Callers must be in a shard-safe
 // context (the machine's quiesce runs under WhenSafe/Hold).
+//
+//snvet:global recovery epoch is read by every shard
 func (nw *Network) BumpEpoch() { nw.epoch++ }
 
 // SetRecovering toggles recovery mode: while set, newly injected coherence
 // messages are discarded at the source (the protocol is quiesced), while
 // system-coordination messages still flow. Same context requirement as
 // BumpEpoch.
+//
+//snvet:global recovery flag is read by every shard
 func (nw *Network) SetRecovering(r bool) { nw.recovering = r }
 
 // OnDrop installs a callback invoked for every dropped message, after
@@ -380,6 +386,9 @@ func (nw *Network) KillSwitchAt(s topology.SwitchID, at sim.Time) {
 // fault, a recovery, or a stale epoch eats it. Send must execute in the
 // scheduling context of a node on m.Src's shard (in practice: node
 // m.Src's own events, or its home service controller's).
+//
+//snvet:nodelocal
+//snvet:alloc-free
 func (nw *Network) Send(m *msg.Message) {
 	if nw.handlers[m.Dst] == nil {
 		panic(fmt.Sprintf("network: no handler attached to node %d", m.Dst))
@@ -434,6 +443,9 @@ func (nw *Network) Send(m *msg.Message) {
 // the next half-switch crosses nodes — and possibly shards — through the
 // domain, at a latency of at least one hop plus serialization (the
 // lookahead bound).
+//
+//snvet:nodelocal
+//snvet:alloc-free
 func (nw *Network) step(a any) {
 	t := a.(*transit)
 	if t.idx == len(t.route) {
@@ -469,6 +481,9 @@ func (nw *Network) step(a any) {
 // than now and returns the departure time. e must be the engine of the
 // shard owning the from endpoint's node: link state is partitioned by
 // source endpoint, so each busy row has exactly one writing shard.
+//
+//snvet:nodelocal
+//snvet:alloc-free
 func (nw *Network) occupy(e *sim.Engine, from, to int, ser sim.Time) sim.Time {
 	li := from*nw.nEnt + to
 	depart := e.Now()
@@ -480,8 +495,13 @@ func (nw *Network) occupy(e *sim.Engine, from, to int, ser sim.Time) sim.Time {
 }
 
 // deliverArg adapts deliver to the engine's arg-passing scheduler.
+//
+//snvet:nodelocal
+//snvet:alloc-free
 func (nw *Network) deliverArg(a any) { nw.deliver(a.(*msg.Message)) }
 
+//snvet:nodelocal
+//snvet:alloc-free
 func (nw *Network) deliver(m *msg.Message) {
 	dstShard := nw.shardOf[m.Dst]
 	if m.Type.IsCoherence() {
@@ -501,6 +521,9 @@ func (nw *Network) deliver(m *msg.Message) {
 }
 
 // drop consumes m: after the callback it returns to the message pool.
+//
+//snvet:nodelocal
+//snvet:alloc-free
 func (nw *Network) drop(shard int32, m *msg.Message, r DropReason) {
 	nw.sstats[shard].dropped[r]++
 	if nw.onDrop != nil {

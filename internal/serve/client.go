@@ -136,7 +136,7 @@ func RetryTransient(ctx context.Context, p RetryPolicy, op func() error) error {
 	var err error
 	for attempt := 0; attempt < p.Attempts; attempt++ {
 		if attempt > 0 {
-			jittered := delay/2 + time.Duration(rand.Int63n(int64(delay/2)+1))
+			jittered := delay/2 + time.Duration(rand.Int63n(int64(delay/2)+1)) //snvet:wallclock retry backoff jitter, not simulation state
 			select {
 			case <-ctx.Done():
 				return ctx.Err()

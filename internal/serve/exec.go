@@ -166,7 +166,7 @@ func (e errBadIndex) Error() string {
 // owned index is pending. The returned count is the number of records
 // newly checkpointed (a pure replay commits 0 and succeeds).
 func (e *shardExec) commit(shard int, token uint64, records []Record, done bool) (int, error) {
-	if err := e.leases.validate(shard, token, time.Now()); err != nil {
+	if err := e.leases.validate(shard, token, time.Now()); err != nil { //snvet:wallclock lease TTL check
 		return 0, err
 	}
 	type announce struct {
@@ -298,8 +298,9 @@ func (e *shardExec) localSlot(ctx context.Context) {
 			return
 		default:
 		}
-		if e.srv.liveWorkers(time.Now()) == 0 {
-			if g, lctx, ok := e.acquire(localWorkerID, time.Now(), ctx); ok {
+		now := time.Now() //snvet:wallclock worker liveness window and lease stamp
+		if e.srv.liveWorkers(now) == 0 {
+			if g, lctx, ok := e.acquire(localWorkerID, now, ctx); ok {
 				e.runLease(lctx, g)
 				continue
 			}
@@ -339,7 +340,7 @@ func (e *shardExec) runLease(lctx context.Context, g *LeaseGrant) {
 			case <-lctx.Done():
 				return
 			case <-t.C:
-				e.leases.validate(g.Shard, g.Token, time.Now())
+				e.leases.validate(g.Shard, g.Token, time.Now()) //snvet:wallclock lease heartbeat
 			}
 		}
 	}()

@@ -191,7 +191,7 @@ func (s *Server) execute(ctx context.Context, j *Job) error {
 				case <-e.done:
 					return
 				case <-t.C:
-					e.leases.sweep(time.Now())
+					e.leases.sweep(time.Now()) //snvet:wallclock expired-lease sweep
 				}
 			}
 		}()

@@ -177,7 +177,7 @@ func (s *Server) currentExec() *shardExec {
 // /workers/{id}/* request counts as contact.
 func (s *Server) noteWorker(id string) {
 	s.workerMu.Lock()
-	s.workerSeen[id] = time.Now()
+	s.workerSeen[id] = time.Now() //snvet:wallclock worker liveness stamp
 	s.workerMu.Unlock()
 }
 
@@ -202,7 +202,7 @@ func (s *Server) liveWorkers(now time.Time) int {
 
 // noteRunDone feeds the throughput gauge.
 func (s *Server) noteRunDone() {
-	now := time.Now()
+	now := time.Now() //snvet:wallclock throughput gauge window
 	s.rateMu.Lock()
 	s.runsDone++
 	s.doneTimes = append(s.doneTimes, now)
@@ -218,7 +218,7 @@ func (s *Server) noteRunDone() {
 
 // runsPerSecond averages completions over the trailing window.
 func (s *Server) runsPerSecond() float64 {
-	now := time.Now()
+	now := time.Now() //snvet:wallclock throughput gauge window
 	s.rateMu.Lock()
 	defer s.rateMu.Unlock()
 	n := 0
@@ -456,7 +456,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Name:          c.Name,
 		Runs:          c.Runs(),
 		ScaleTo:       scaleTo,
-		SubmittedUnix: time.Now().Unix(),
+		SubmittedUnix: time.Now().Unix(), //snvet:wallclock job submission timestamp
 	})
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "persisting job: %v", err)
@@ -644,7 +644,7 @@ func (s *Server) handleWorkerLease(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusNoContent)
 		return
 	}
-	g, _, ok := e.acquire(id, time.Now(), context.Background())
+	g, _, ok := e.acquire(id, time.Now(), context.Background()) //snvet:wallclock lease acquisition stamp
 	if !ok {
 		w.WriteHeader(http.StatusNoContent)
 		return
@@ -718,7 +718,7 @@ func (s *Server) handleWorkerHeartbeat(w http.ResponseWriter, r *http.Request) {
 	if e == nil {
 		return
 	}
-	if err := e.leases.validate(h.Shard, h.Token, time.Now()); err != nil {
+	if err := e.leases.validate(h.Shard, h.Token, time.Now()); err != nil { //snvet:wallclock lease TTL check
 		leaseError(w, err)
 		return
 	}
@@ -757,7 +757,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP snserved_runs_per_second Completions averaged over the trailing %s.\n", rateWindow)
 	fmt.Fprintf(w, "# TYPE snserved_runs_per_second gauge\n")
 	fmt.Fprintf(w, "snserved_runs_per_second %g\n", s.runsPerSecond())
-	now := time.Now()
+	now := time.Now() //snvet:wallclock worker liveness window for /metrics
 	held := 0
 	if e := s.currentExec(); e != nil {
 		held = e.leases.held(now)

@@ -62,7 +62,7 @@ func (w *Worker) poll() time.Duration {
 // sleep waits d plus up to 25% jitter (decorrelating a worker fleet's
 // polls), returning early when ctx ends.
 func sleep(ctx context.Context, d time.Duration) error {
-	d += time.Duration(rand.Int63n(int64(d)/4 + 1))
+	d += time.Duration(rand.Int63n(int64(d)/4 + 1)) //snvet:wallclock poll decorrelation jitter, not simulation state
 	select {
 	case <-ctx.Done():
 		return ctx.Err()

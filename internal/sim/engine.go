@@ -192,16 +192,18 @@ func (e *Engine) Executed() uint64 { return e.executed }
 // Pending returns the number of events waiting in the queue.
 func (e *Engine) Pending() int { return e.pending }
 
+//snvet:alloc-free
 func (e *Engine) allocSlot() int32 {
 	if e.free >= 0 {
 		i := e.free
 		e.free = e.slots[i].next
 		return i
 	}
-	e.slots = append(e.slots, slot{})
+	e.slots = append(e.slots, slot{}) //snvet:alloc-ok amortized slot-pool growth; steady state reuses the free list
 	return int32(len(e.slots) - 1)
 }
 
+//snvet:alloc-free
 func (e *Engine) freeSlot(i int32) {
 	s := &e.slots[i]
 	s.gen++
@@ -214,6 +216,8 @@ func (e *Engine) freeSlot(i int32) {
 // bucketInsert places slot i into its cycle bucket in key order. The
 // common case — ascending keys, e.g. a single owner scheduling in
 // program order — appends at the tail in O(1).
+//
+//snvet:alloc-free
 func (e *Engine) bucketInsert(b *bucket, i int32) {
 	s := &e.slots[i]
 	s.next = -1
@@ -249,6 +253,8 @@ func (e *Engine) bucketInsert(b *bucket, i int32) {
 }
 
 // enqueue places an already-filled slot into the wheel or the overflow.
+//
+//snvet:alloc-free
 func (e *Engine) enqueue(i int32) {
 	s := &e.slots[i]
 	if e.pkValid && eventLess(s.at, s.owner, s.key, e.pkAt, e.pkOwner, e.pkKey) {
@@ -263,6 +269,7 @@ func (e *Engine) enqueue(i int32) {
 	e.pending++
 }
 
+//snvet:alloc-free
 func (e *Engine) schedule(at Time, fn Event, afn func(any), arg any) int32 {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %d before now %d", at, e.now))
@@ -282,6 +289,8 @@ func (e *Engine) schedule(at Time, fn Event, afn func(any), arg any) int32 {
 // post schedules a cross-node event: it runs in owner's context but its
 // key is derived from the sending owner's post counter, making the
 // within-cycle order shard-layout-invariant.
+//
+//snvet:alloc-free
 func (e *Engine) post(at Time, owner int32, afn func(any), arg any) {
 	e.enqueueKeyed(at, owner, e.nextRemoteKey(), nil, afn, arg)
 }
@@ -297,6 +306,8 @@ func (e *Engine) nextRemoteKey() uint64 {
 // enqueueKeyed schedules an event carrying a pre-assigned (owner, key);
 // the sharded engine's inbox drain uses it to apply cross-shard handoffs
 // with the keys their senders computed.
+//
+//snvet:alloc-free
 func (e *Engine) enqueueKeyed(at Time, owner int32, key uint64, fn Event, afn func(any), arg any) {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: post at %d before now %d", at, e.now))
@@ -312,11 +323,15 @@ func (e *Engine) enqueueKeyed(at Time, owner int32, key uint64, fn Event, afn fu
 // Schedule registers fn to run at absolute cycle at. Scheduling in the past
 // panics: it always indicates a model bug, and silently reordering time
 // would corrupt the checkpoint-coordination logic.
+//
+//snvet:alloc-free
 func (e *Engine) Schedule(at Time, fn Event) {
 	e.schedule(at, fn, nil, nil)
 }
 
 // After schedules fn to run delay cycles from now.
+//
+//snvet:alloc-free
 func (e *Engine) After(delay Time, fn Event) {
 	e.schedule(e.now+delay, fn, nil, nil)
 }
@@ -324,11 +339,15 @@ func (e *Engine) After(delay Time, fn Event) {
 // ScheduleArg registers fn to run at absolute cycle at with arg. Passing
 // a long-lived func value plus a pointer-typed arg avoids the closure
 // allocation Schedule would need; the network's per-hop traversal uses it.
+//
+//snvet:alloc-free
 func (e *Engine) ScheduleArg(at Time, fn func(any), arg any) {
 	e.schedule(at, nil, fn, arg)
 }
 
 // AfterArg schedules fn(arg) to run delay cycles from now.
+//
+//snvet:alloc-free
 func (e *Engine) AfterArg(delay Time, fn func(any), arg any) {
 	e.schedule(e.now+delay, nil, fn, arg)
 }
@@ -374,8 +393,10 @@ func (e *Engine) Stop() { e.stopped = true }
 func (e *Engine) Stopped() bool { return e.stopped }
 
 // ovPush inserts an entry into the overflow min-heap.
+//
+//snvet:alloc-free
 func (e *Engine) ovPush(v ovEntry) {
-	e.overflow = append(e.overflow, v)
+	e.overflow = append(e.overflow, v) //snvet:alloc-ok amortized overflow-heap growth
 	i := len(e.overflow) - 1
 	for i > 0 {
 		p := (i - 1) / 2
@@ -388,6 +409,8 @@ func (e *Engine) ovPush(v ovEntry) {
 }
 
 // ovPop removes and returns the minimum overflow entry.
+//
+//snvet:alloc-free
 func (e *Engine) ovPop() ovEntry {
 	h := e.overflow
 	top := h[0]

@@ -10,6 +10,7 @@ package snoop
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 
 	"safetynet/internal/backend"
@@ -258,6 +259,8 @@ func (d *dataMsg) deliver() {
 // sendData models the unordered point-to-point data network; this is
 // where the message-level fault events (dropped, corrupted, duplicated
 // data) live.
+//
+//snvet:alloc-free
 func (s *System) sendData(from, to int, addr, data uint64, cn msg.CN, slot uint64) {
 	now := s.eng.Now()
 	f := &s.faults
@@ -514,8 +517,13 @@ func (s *System) CheckCoherence() []string {
 			owners[a] = append(owners[a], n.id)
 		}
 	}
-	for addr, list := range owners {
-		if len(list) > 1 {
+	addrs := make([]uint64, 0, len(owners))
+	for a := range owners {
+		addrs = append(addrs, a)
+	}
+	slices.Sort(addrs)
+	for _, addr := range addrs {
+		if list := owners[addr]; len(list) > 1 {
 			errs = append(errs, fmt.Sprintf("block %#x owned by %v", addr, list))
 		}
 	}
