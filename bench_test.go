@@ -21,8 +21,8 @@ import (
 )
 
 // benchOptions keeps every figure-bench in the seconds range.
-func benchOptions() harness.Options {
-	return harness.Options{Runs: 1, Warmup: 200_000, Measure: 600_000, BaseSeed: 1}
+func benchOptions() runner.Options {
+	return runner.Options{Runs: 1, Warmup: 200_000, Measure: 600_000, BaseSeed: 1}
 }
 
 // BenchmarkTable2SystemParameters renders the Table 2 configuration.

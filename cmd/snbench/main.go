@@ -102,7 +102,7 @@ func run() int {
 	if *runs > 0 {
 		opts.Runs = *runs
 	}
-	opts.Parallelism = *par
+	opts.Workers = *par
 
 	var selected []string
 	if *exp == "all" {

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const example = "../../examples/explorations/clb-vs-interval.json"
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr strings.Builder
+	code := run(context.Background(), args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestExpandListsArms(t *testing.T) {
+	code, out, _ := runCLI(t, "-expand", example)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{
+		"interval=50k clb=4K",
+		"interval=200k clb=64K",
+		"9 arms x 4 seeds = 36 exhaustive runs; strategy halving",
+		"objectives: availability, ipc",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("expand output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "seed=") {
+		t.Errorf("expand output leaks seed replications:\n%s", out)
+	}
+}
+
+func TestUsageAndLoadErrors(t *testing.T) {
+	cases := [][]string{
+		{},                                // missing file
+		{"-format", "yaml", example},      // unknown format
+		{"-strategy", "vibes", example},   // unknown strategy kind
+		{filepath.Join(t.TempDir(), "a")}, // unreadable file
+	}
+	for _, args := range cases {
+		if code, _, stderr := runCLI(t, args...); code != 1 || stderr == "" {
+			t.Errorf("args %v: exit %d, stderr %q; want 1 with a message", args, code, stderr)
+		}
+	}
+}
+
+func TestStrategyOverrideDropsForeignParams(t *testing.T) {
+	// The checked-in example declares halving parameters; overriding to
+	// bandit must not carry them along (they would fail validation).
+	code, out, stderr := runCLI(t, "-expand", "-strategy", "bandit", example)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr)
+	}
+	if !strings.Contains(out, "strategy bandit") {
+		t.Errorf("override not applied:\n%s", out)
+	}
+}
+
+func TestRejectsMalformedExploration(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(p, []byte(`{"seed": 1, "cheese": true}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, stderr := runCLI(t, p); code != 1 || !strings.Contains(stderr, "snexplore:") {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+}

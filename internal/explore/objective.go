@@ -1,0 +1,113 @@
+package explore
+
+import (
+	"safetynet/internal/runner"
+)
+
+// Objective is one quantity a search optimizes, extracted per run and
+// averaged per arm. Directions are fixed here — an exploration names
+// objectives, it does not redefine what "better" means — and every
+// extractor is total: any finished run yields a finite value (crashed
+// runs never reach extraction; their whole arm is disqualified).
+type Objective struct {
+	// Name is the JSON vocabulary token.
+	Name string
+	// Maximize is the direction (false means smaller is better).
+	Maximize bool
+	// Description is one line for -expand listings and docs.
+	Description string
+	// Extract reads the run's observation of this objective.
+	Extract func(r runner.RunResult) float64
+}
+
+// objectiveDefs is the fixed vocabulary, in documentation order.
+var objectiveDefs = []Objective{
+	{
+		Name:        "availability",
+		Maximize:    true,
+		Description: "durable fraction of retired work: instrs / (instrs + rolled back)",
+		Extract: func(r runner.RunResult) float64 {
+			durable := float64(r.Instrs)
+			lost := float64(r.InstrsRolledBack)
+			if durable+lost == 0 {
+				return 0
+			}
+			return durable / (durable + lost)
+		},
+	},
+	{
+		Name:        "ipc",
+		Maximize:    true,
+		Description: "aggregate instructions per cycle over the measurement window",
+		Extract:     func(r runner.RunResult) float64 { return r.IPC },
+	},
+	{
+		Name:        "recovery_latency",
+		Maximize:    false,
+		Description: "mean recovery coordination latency in cycles (0 when nothing recovered)",
+		Extract: func(r runner.RunResult) float64 {
+			if len(r.RecoveryCycles) == 0 {
+				return 0
+			}
+			sum := 0.0
+			for _, d := range r.RecoveryCycles {
+				sum += float64(d)
+			}
+			return sum / float64(len(r.RecoveryCycles))
+		},
+	},
+	{
+		Name:        "log_footprint",
+		Maximize:    false,
+		Description: "CLB update-actions logged: store overwrites + ownership transfers",
+		Extract: func(r runner.RunResult) float64 {
+			return float64(r.StoresLogged + r.TransfersLogged)
+		},
+	},
+}
+
+// Objectives returns the objective vocabulary in documentation order.
+func Objectives() []Objective { return append([]Objective(nil), objectiveDefs...) }
+
+// ObjectiveNames lists the valid objective tokens.
+func ObjectiveNames() []string {
+	names := make([]string, len(objectiveDefs))
+	for i, o := range objectiveDefs {
+		names[i] = o.Name
+	}
+	return names
+}
+
+// objectiveByName resolves one token.
+func objectiveByName(name string) (Objective, bool) {
+	for _, o := range objectiveDefs {
+		if o.Name == name {
+			return o, true
+		}
+	}
+	return Objective{}, false
+}
+
+// objectives resolves the exploration's objective list; Validate
+// guaranteed every name resolves.
+func (e *Exploration) objectives() []Objective {
+	objs := make([]Objective, len(e.Objectives))
+	for i, name := range e.Objectives {
+		objs[i], _ = objectiveByName(name)
+	}
+	return objs
+}
+
+// dominanceVector converts natural-direction objective values into the
+// maximize-is-better form stats.Dominates expects.
+func dominanceVector(objs []Objective, natural []float64) []float64 {
+	v := make([]float64, len(natural))
+	for i, x := range natural {
+		if objs[i].Maximize {
+			v[i] = x
+		} else {
+			v[i] = -x
+		}
+	}
+	return v
+}

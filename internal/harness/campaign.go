@@ -3,6 +3,7 @@ package harness
 import (
 	"safetynet/internal/campaign"
 	"safetynet/internal/config"
+	"safetynet/internal/runner"
 	"safetynet/internal/sim"
 )
 
@@ -21,7 +22,7 @@ func campaignPoints(c *campaign.Campaign, base config.Params) []Point {
 		// instead of panicking inside the registry.
 		return []Point{{
 			Labels: map[string]string{"error": err.Error()},
-			Run:    RunConfig{Workload: "invalid campaign: " + err.Error()},
+			Run:    runner.RunConfig{Workload: "invalid campaign: " + err.Error()},
 		}}
 	}
 	pts := make([]Point, len(runs))
@@ -32,7 +33,7 @@ func campaignPoints(c *campaign.Campaign, base config.Params) []Point {
 		p, _ := sc.ParamsFrom(base)
 		pts[i] = Point{
 			Labels: runs[i].Labels,
-			Run: RunConfig{
+			Run: runner.RunConfig{
 				Params:   p,
 				Workload: sc.Workload,
 				Warmup:   sim.Time(sc.WarmupCycles),

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"safetynet/internal/runner"
 	"strconv"
 
 	"safetynet/internal/config"
@@ -34,7 +35,7 @@ const detectWorkload = "jbb"
 func detectLatencies() []uint64 { return []uint64{50_000, 100_000, 200_000, 400_000} }
 
 // detectGrid expands the sweep: one single-fault run per latency.
-func detectGrid(base config.Params, o Options) []Point {
+func detectGrid(base config.Params, o runner.Options) []Point {
 	var pts []Point
 	for _, d := range detectLatencies() {
 		p := perturbed(base, o, 0)
@@ -50,7 +51,7 @@ func detectGrid(base config.Params, o Options) []Point {
 		}
 		pts = append(pts, Point{
 			Labels: map[string]string{"detect": strconv.FormatUint(d, 10)},
-			Run: RunConfig{
+			Run: runner.RunConfig{
 				Params: p, Workload: detectWorkload, Warmup: o.Warmup, Measure: measure,
 				Fault: fault.Plan{fault.DropOnce{At: o.Warmup + measure/8}},
 			},
@@ -59,7 +60,7 @@ func detectGrid(base config.Params, o Options) []Point {
 	return pts
 }
 
-func detectFold(base config.Params, pts []Point, res []RunResult) *DetectResult {
+func detectFold(base config.Params, pts []Point, res []runner.RunResult) *DetectResult {
 	r := &DetectResult{Workload: detectWorkload, Tolerance: base.DetectionToleranceCycles()}
 	for i, pt := range pts {
 		d, _ := strconv.ParseUint(pt.Label("detect"), 10, 64)
@@ -75,9 +76,9 @@ func detectFold(base config.Params, pts []Point, res []RunResult) *DetectResult 
 
 // Detect sweeps the detection (timeout) latency with a single injected
 // transient fault.
-func Detect(base config.Params, o Options) *DetectResult {
+func Detect(base config.Params, o runner.Options) *DetectResult {
 	pts := detectGrid(base, o)
-	return detectFold(base, pts, RunPoints(pts, o.Parallelism))
+	return detectFold(base, pts, RunPoints(pts, o.Workers))
 }
 
 // Report converts the result to its structured form.
@@ -113,7 +114,7 @@ func init() {
 		"recovery behavior and throughput as fault-detection latency grows (§3.4)").
 		Order(6).
 		Grid(detectGrid).
-		Reduce(func(base config.Params, _ Options, pts []Point, res []RunResult) *Report {
+		Reduce(func(base config.Params, _ runner.Options, pts []Point, res []runner.RunResult) *Report {
 			return detectFold(base, pts, res).Report()
 		}).
 		MustRegister()

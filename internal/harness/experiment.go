@@ -15,7 +15,7 @@ import (
 // bar, interval, ...) for the reduce step and for structured output.
 type Point struct {
 	Labels map[string]string
-	Run    RunConfig
+	Run    runner.RunConfig
 }
 
 // Label returns one label value ("" when absent).
@@ -34,22 +34,22 @@ type Experiment struct {
 	Order int
 	// Grid expands the experiment into concrete runs. Nil means the
 	// experiment needs no simulation (table2 prints parameters).
-	Grid func(base config.Params, o Options) []Point
+	Grid func(base config.Params, o runner.Options) []Point
 	// Reduce folds the grid's results — res[i] belongs to pts[i], in
 	// grid order regardless of execution order — into the report.
-	Reduce func(base config.Params, o Options, pts []Point, res []RunResult) *Report
+	Reduce func(base config.Params, o runner.Options, pts []Point, res []runner.RunResult) *Report
 }
 
 // Run expands the grid, executes every point (fanning across
-// o.Parallelism workers), and reduces the results. Degenerate option
+// o.Workers workers), and reduces the results. Degenerate option
 // sizing is clamped first (see Options.sanitized).
-func (e Experiment) Run(base config.Params, o Options) *Report {
-	o = o.sanitized()
+func (e Experiment) Run(base config.Params, o runner.Options) *Report {
+	o = o.Sanitized()
 	var pts []Point
 	if e.Grid != nil {
 		pts = e.Grid(base, o)
 	}
-	res := RunPoints(pts, o.Parallelism)
+	res := RunPoints(pts, o.Workers)
 	rep := e.Reduce(base, o, pts, res)
 	rep.Experiment = e.Name
 	if rep.Title == "" {
@@ -62,8 +62,8 @@ func (e Experiment) Run(base config.Params, o Options) *Report {
 // Each run owns its own deterministic engine, machine, and RNG, so runs
 // are independent and the result for a given point is identical whether
 // it executed serially or on a worker pool (runner.RunAll).
-func RunPoints(pts []Point, parallelism int) []RunResult {
-	rcs := make([]RunConfig, len(pts))
+func RunPoints(pts []Point, parallelism int) []runner.RunResult {
+	rcs := make([]runner.RunConfig, len(pts))
 	for i := range pts {
 		rcs[i] = pts[i].Run
 	}
@@ -115,8 +115,8 @@ func Register(e Experiment) {
 //
 //	harness.NewExperiment("myexp", "My Experiment", "what it measures").
 //		Order(100).
-//		Grid(func(base config.Params, o Options) []Point { ... }).
-//		Reduce(func(base config.Params, o Options, pts []Point, res []RunResult) *Report { ... }).
+//		Grid(func(base config.Params, o runner.Options) []Point { ... }).
+//		Reduce(func(base config.Params, o runner.Options, pts []Point, res []runner.RunResult) *Report { ... }).
 //		Register()
 type Builder struct {
 	e Experiment
@@ -137,14 +137,14 @@ func (b *Builder) Order(n int) *Builder {
 
 // Grid sets the design-point expansion. Experiments without a grid run
 // no simulations (their Reduce renders static content, like table2).
-func (b *Builder) Grid(g func(base config.Params, o Options) []Point) *Builder {
+func (b *Builder) Grid(g func(base config.Params, o runner.Options) []Point) *Builder {
 	b.e.Grid = g
 	return b
 }
 
 // Reduce sets the fold from grid results to the structured report.
 // Required.
-func (b *Builder) Reduce(r func(base config.Params, o Options, pts []Point, res []RunResult) *Report) *Builder {
+func (b *Builder) Reduce(r func(base config.Params, o runner.Options, pts []Point, res []runner.RunResult) *Report) *Builder {
 	b.e.Reduce = r
 	return b
 }
@@ -198,7 +198,7 @@ func Names() []string {
 
 // RunExperiment runs the named experiment against the base
 // configuration. Unknown names list the valid ones.
-func RunExperiment(name string, base config.Params, o Options) (*Report, error) {
+func RunExperiment(name string, base config.Params, o runner.Options) (*Report, error) {
 	e, ok := Get(name)
 	if !ok {
 		return nil, fmt.Errorf("unknown experiment %q (have %s)",

@@ -7,6 +7,7 @@ import (
 
 	"safetynet/internal/config"
 	"safetynet/internal/fault"
+	"safetynet/internal/runner"
 	"safetynet/internal/topology"
 	"safetynet/internal/workload"
 )
@@ -24,7 +25,7 @@ func TestRegistryCatalog(t *testing.T) {
 }
 
 func TestRunExperimentUnknownName(t *testing.T) {
-	_, err := RunExperiment("fig9", config.Default(), QuickOptions())
+	_, err := RunExperiment("fig9", config.Default(), runner.QuickOptions())
 	if err == nil {
 		t.Fatal("unknown experiment must error")
 	}
@@ -34,7 +35,7 @@ func TestRunExperimentUnknownName(t *testing.T) {
 }
 
 func TestRunExperimentTable2(t *testing.T) {
-	rep, err := RunExperiment("table2", config.Default(), QuickOptions())
+	rep, err := RunExperiment("table2", config.Default(), runner.QuickOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func TestDuplicateRegistrationPanics(t *testing.T) {
 			t.Fatal("duplicate registration must panic")
 		}
 	}()
-	Register(Experiment{Name: "fig5", Reduce: func(config.Params, Options, []Point, []RunResult) *Report {
+	Register(Experiment{Name: "fig5", Reduce: func(config.Params, runner.Options, []Point, []runner.RunResult) *Report {
 		return &Report{}
 	}})
 }
@@ -67,7 +68,7 @@ func multiFaultPlan() fault.Plan {
 }
 
 func TestRunMultiFaultPlan(t *testing.T) {
-	res := Run(RunConfig{
+	res := runner.Run(runner.RunConfig{
 		Params: config.Default(), Workload: "barnes",
 		Warmup: 200_000, Measure: 1_400_000,
 		Fault: multiFaultPlan(),
@@ -86,7 +87,7 @@ func TestRunMultiFaultPlan(t *testing.T) {
 func TestRunInvalidFaultPlanReportsCrash(t *testing.T) {
 	// Degenerate options can build degenerate plans (zero drop period);
 	// Run must surface that as a crashed result, not a panic.
-	res := Run(RunConfig{
+	res := runner.Run(runner.RunConfig{
 		Params: config.Default(), Workload: "barnes", Warmup: 0, Measure: 4,
 		Fault: fault.Plan{fault.DropEvery{Start: 0, Period: 0}},
 	})
@@ -104,13 +105,13 @@ func tinyExperiment() Experiment {
 	return Experiment{
 		Name:  "tiny",
 		Title: "tiny determinism probe",
-		Grid: func(base config.Params, o Options) []Point {
+		Grid: func(base config.Params, o runner.Options) []Point {
 			var pts []Point
 			for _, wl := range []string{"barnes", "stress"} {
 				for i := 0; i < 3; i++ {
 					pts = append(pts, Point{
 						Labels: map[string]string{"workload": wl},
-						Run: RunConfig{
+						Run: runner.RunConfig{
 							Params: perturbed(base, o, i), Workload: wl,
 							Warmup: o.Warmup, Measure: o.Measure,
 						},
@@ -119,7 +120,7 @@ func tinyExperiment() Experiment {
 			}
 			return pts
 		},
-		Reduce: func(_ config.Params, _ Options, pts []Point, res []RunResult) *Report {
+		Reduce: func(_ config.Params, _ runner.Options, pts []Point, res []runner.RunResult) *Report {
 			rep := &Report{Title: "tiny", LabelCols: []string{"i", "workload"}, ValueCols: []string{"ipc"}}
 			for i := range pts {
 				rep.Rows = append(rep.Rows, Row{
@@ -134,7 +135,7 @@ func tinyExperiment() Experiment {
 
 func TestParallelRunsAreDeterministic(t *testing.T) {
 	base := config.Default()
-	o := Options{Runs: 1, Warmup: 80_000, Measure: 200_000, BaseSeed: 1}
+	o := runner.Options{Runs: 1, Warmup: 80_000, Measure: 200_000, BaseSeed: 1}
 	e := tinyExperiment()
 	pts := e.Grid(base, o)
 
@@ -159,7 +160,7 @@ func TestParallelRunsAreDeterministic(t *testing.T) {
 func TestSnoopBackendRun(t *testing.T) {
 	p := config.Default()
 	p.Protocol = config.ProtocolSnoop
-	res := Run(RunConfig{
+	res := runner.Run(runner.RunConfig{
 		Params: p, Workload: "jbb", Warmup: 150_000, Measure: 450_000,
 		Fault: fault.Plan{fault.DropOnce{At: 250_000}},
 	})
@@ -183,7 +184,7 @@ func TestSnoopBackendRun(t *testing.T) {
 func TestSnoopRunUnsupportedFaultReportsCrash(t *testing.T) {
 	p := config.Default()
 	p.Protocol = config.ProtocolSnoop
-	res := Run(RunConfig{
+	res := runner.Run(runner.RunConfig{
 		Params: p, Workload: "jbb", Warmup: 0, Measure: 10_000,
 		Fault: fault.Plan{fault.KillSwitch{Node: 5, Axis: topology.EW, At: 5_000}},
 	})
@@ -192,7 +193,7 @@ func TestSnoopRunUnsupportedFaultReportsCrash(t *testing.T) {
 	}
 }
 
-// TestNewExperimentsDeterministicUnderParallelism: snoopdetect and
+// TestNewExperimentsDeterministicUnderWorkers: snoopdetect and
 // protocols must render identically whether their points run serially or
 // on a worker pool.
 func TestNewExperimentsDeterministicUnderParallelism(t *testing.T) {
@@ -200,12 +201,12 @@ func TestNewExperimentsDeterministicUnderParallelism(t *testing.T) {
 		t.Skip("short mode")
 	}
 	base := config.Default()
-	o := Options{Runs: 1, Warmup: 100_000, Measure: 200_000, BaseSeed: 1}
+	o := runner.Options{Runs: 1, Warmup: 100_000, Measure: 200_000, BaseSeed: 1}
 	for _, name := range []string{"snoopdetect", "protocols"} {
 		serial := o
-		serial.Parallelism = 1
+		serial.Workers = 1
 		parallel := o
-		parallel.Parallelism = 4
+		parallel.Workers = 4
 		sRep, err := RunExperiment(name, base, serial)
 		if err != nil {
 			t.Fatal(err)
@@ -230,7 +231,7 @@ func TestProtocolsReportShape(t *testing.T) {
 		t.Skip("short mode")
 	}
 	rep, err := RunExperiment("protocols", config.Default(),
-		Options{Runs: 1, Warmup: 80_000, Measure: 160_000, BaseSeed: 1, Parallelism: 4})
+		runner.Options{Runs: 1, Warmup: 80_000, Measure: 160_000, BaseSeed: 1, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +251,7 @@ func TestProtocolsReportShape(t *testing.T) {
 // TestRecoveryGridClampsDegeneratePeriod: a tiny measurement window must
 // not produce a zero-period (unarmable) fault plan.
 func TestRecoveryGridClampsDegeneratePeriod(t *testing.T) {
-	pts := recoveryGrid(config.Default(), Options{Runs: 1, Warmup: 0, Measure: 3, BaseSeed: 1})
+	pts := recoveryGrid(config.Default(), runner.Options{Runs: 1, Warmup: 0, Measure: 3, BaseSeed: 1})
 	m := newTestMachineTarget(t)
 	for _, pt := range pts {
 		if err := pt.Run.Fault.Arm(m); err != nil {
@@ -265,7 +266,7 @@ func newTestMachineTarget(t *testing.T) fault.Target {
 	if err != nil {
 		t.Fatal(err)
 	}
-	be, err := NewBackend(config.Default(), prof)
+	be, err := runner.NewBackend(config.Default(), prof)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,9 +280,9 @@ func TestParallelFig6MatchesSerial(t *testing.T) {
 	base := config.Default()
 	o := tinyOptions()
 	serial := o
-	serial.Parallelism = 1
+	serial.Workers = 1
 	parallel := o
-	parallel.Parallelism = 5
+	parallel.Workers = 5
 
 	sRep, err := RunExperiment("fig6", base, serial)
 	if err != nil {

@@ -3,6 +3,7 @@ package harness
 import (
 	"safetynet/internal/config"
 	"safetynet/internal/fault"
+	"safetynet/internal/runner"
 	"safetynet/internal/stats"
 	"safetynet/internal/topology"
 	"safetynet/internal/workload"
@@ -57,12 +58,12 @@ type Fig5Cell struct {
 type Fig5Result struct {
 	Workloads []string
 	Cells     map[string]map[Fig5Bar]*Fig5Cell
-	Opts      Options
+	Opts      runner.Options
 }
 
 // fig5Config returns the perturbed per-bar parameters: the bars either
 // disable SafetyNet (the unprotected baseline) or enable it.
-func fig5Config(base config.Params, o Options, run int, bar Fig5Bar) config.Params {
+func fig5Config(base config.Params, o runner.Options, run int, bar Fig5Bar) config.Params {
 	p := perturbed(base, o, run)
 	p.SafetyNetEnabled = bar >= SafetyNetFaultFree
 	return p
@@ -78,7 +79,7 @@ func fig5Config(base config.Params, o Options, run int, bar Fig5Bar) config.Para
 // intervals of re-executed work (~150k cycles), so the expected overhead
 // at this rate is a few percent, and under the paper's rate it would be
 // ~0.15% — supporting the "statistically insignificant" conclusion.
-func fig5Fault(o Options, bar Fig5Bar) fault.Plan {
+func fig5Fault(o runner.Options, bar Fig5Bar) fault.Plan {
 	switch bar {
 	case UnprotectedWithFault:
 		return fault.Plan{fault.DropOnce{At: o.Warmup + o.Measure/8}}
@@ -94,14 +95,14 @@ func fig5Fault(o Options, bar Fig5Bar) fault.Plan {
 }
 
 // fig5Grid expands Figure 5 into workload x bar x perturbed-run points.
-func fig5Grid(base config.Params, o Options) []Point {
+func fig5Grid(base config.Params, o runner.Options) []Point {
 	var pts []Point
 	for _, wl := range workload.PaperWorkloads() {
 		for _, bar := range fig5Bars {
 			for i := 0; i < o.Runs; i++ {
 				pts = append(pts, Point{
 					Labels: map[string]string{"workload": wl, "bar": bar.String()},
-					Run: RunConfig{
+					Run: runner.RunConfig{
 						Params:   fig5Config(base, o, i, bar),
 						Workload: wl,
 						Warmup:   o.Warmup,
@@ -116,7 +117,7 @@ func fig5Grid(base config.Params, o Options) []Point {
 }
 
 // fig5Fold aggregates grid results into the per-workload, per-bar cells.
-func fig5Fold(o Options, pts []Point, res []RunResult) *Fig5Result {
+func fig5Fold(o runner.Options, pts []Point, res []runner.RunResult) *Fig5Result {
 	r := &Fig5Result{
 		Workloads: workload.PaperWorkloads(),
 		Cells:     map[string]map[Fig5Bar]*Fig5Cell{},
@@ -142,9 +143,9 @@ func fig5Fold(o Options, pts []Point, res []RunResult) *Fig5Result {
 // Fig5 runs the paper's performance evaluation (Experiments 1-3)
 // serially; RunExperiment("fig5", ...) adds parallelism and structured
 // output.
-func Fig5(base config.Params, o Options) *Fig5Result {
+func Fig5(base config.Params, o runner.Options) *Fig5Result {
 	pts := fig5Grid(base, o)
-	return fig5Fold(o, pts, RunPoints(pts, o.Parallelism))
+	return fig5Fold(o, pts, RunPoints(pts, o.Workers))
 }
 
 // Normalized returns a bar's performance normalized to the workload's
@@ -198,7 +199,7 @@ func init() {
 		"normalized performance of Experiments 1-3 across the five paper workloads").
 		Order(1).
 		Grid(fig5Grid).
-		Reduce(func(_ config.Params, o Options, pts []Point, res []RunResult) *Report {
+		Reduce(func(_ config.Params, o runner.Options, pts []Point, res []runner.RunResult) *Report {
 			return fig5Fold(o, pts, res).Report()
 		}).
 		MustRegister()

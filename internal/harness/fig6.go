@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"safetynet/internal/runner"
 
 	"safetynet/internal/config"
 	"safetynet/internal/sim"
@@ -35,7 +36,7 @@ func Fig6Intervals() []uint64 {
 
 // intervalParams rescales the checkpoint machinery for a swept interval:
 // the signoff, detection tolerance and watchdog stay proportional.
-func intervalParams(base config.Params, o Options, iv uint64) config.Params {
+func intervalParams(base config.Params, o runner.Options, iv uint64) config.Params {
 	p := perturbed(base, o, 0)
 	p.SafetyNetEnabled = true
 	p.CheckpointIntervalCycles = iv
@@ -46,7 +47,7 @@ func intervalParams(base config.Params, o Options, iv uint64) config.Params {
 
 // intervalMeasure widens the measurement window so it covers several
 // checkpoint intervals even for the longest sweep points.
-func intervalMeasure(o Options, iv uint64) sim.Time {
+func intervalMeasure(o runner.Options, iv uint64) sim.Time {
 	if min := sim.Time(4 * iv); o.Measure < min {
 		return min
 	}
@@ -56,12 +57,12 @@ func intervalMeasure(o Options, iv uint64) sim.Time {
 const fig6Workload = "apache"
 
 // fig6Grid expands the interval sweep: one run per interval.
-func fig6Grid(base config.Params, o Options) []Point {
+func fig6Grid(base config.Params, o runner.Options) []Point {
 	var pts []Point
 	for _, iv := range Fig6Intervals() {
 		pts = append(pts, Point{
 			Labels: map[string]string{"interval": fmt.Sprintf("%dk", iv/1000)},
-			Run: RunConfig{
+			Run: runner.RunConfig{
 				Params:   intervalParams(base, o, iv),
 				Workload: fig6Workload,
 				Warmup:   o.Warmup,
@@ -72,7 +73,7 @@ func fig6Grid(base config.Params, o Options) []Point {
 	return pts
 }
 
-func fig6Fold(pts []Point, res []RunResult) *Fig6Result {
+func fig6Fold(pts []Point, res []runner.RunResult) *Fig6Result {
 	r := &Fig6Result{Workload: fig6Workload, Intervals: Fig6Intervals()}
 	for i := range pts {
 		k := float64(res[i].Instrs) / 1000
@@ -92,9 +93,9 @@ func fig6Fold(pts []Point, res []RunResult) *Fig6Result {
 
 // Fig6 sweeps the checkpoint interval and measures store/coherence
 // frequencies and how many of each require logging.
-func Fig6(base config.Params, o Options) *Fig6Result {
+func Fig6(base config.Params, o runner.Options) *Fig6Result {
 	pts := fig6Grid(base, o)
-	return fig6Fold(pts, RunPoints(pts, o.Parallelism))
+	return fig6Fold(pts, RunPoints(pts, o.Workers))
 }
 
 // Report converts the result to its structured form.
@@ -135,7 +136,7 @@ func init() {
 		"store/coherence event rates and their logged subsets vs checkpoint interval").
 		Order(2).
 		Grid(fig6Grid).
-		Reduce(func(_ config.Params, _ Options, pts []Point, res []RunResult) *Report {
+		Reduce(func(_ config.Params, _ runner.Options, pts []Point, res []runner.RunResult) *Report {
 			return fig6Fold(pts, res).Report()
 		}).
 		MustRegister()

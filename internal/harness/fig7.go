@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"safetynet/internal/runner"
 
 	"safetynet/internal/config"
 )
@@ -24,9 +25,9 @@ func Fig7Intervals() []uint64 { return Fig6Intervals() }
 
 // fig7Grid reuses the fig6 interval sweep: same points, different
 // measured quantity.
-func fig7Grid(base config.Params, o Options) []Point { return fig6Grid(base, o) }
+func fig7Grid(base config.Params, o runner.Options) []Point { return fig6Grid(base, o) }
 
-func fig7Fold(pts []Point, res []RunResult) *Fig7Result {
+func fig7Fold(pts []Point, res []runner.RunResult) *Fig7Result {
 	r := &Fig7Result{Workload: fig6Workload}
 	for i := range pts {
 		total := float64(res[i].Bandwidth.Total())
@@ -46,9 +47,9 @@ func fig7Fold(pts []Point, res []RunResult) *Fig7Result {
 
 // Fig7 sweeps the checkpoint interval and measures the cache bandwidth
 // consumed by hits, fills, coherence responses, and logging.
-func Fig7(base config.Params, o Options) *Fig7Result {
+func Fig7(base config.Params, o runner.Options) *Fig7Result {
 	pts := fig7Grid(base, o)
-	return fig7Fold(pts, RunPoints(pts, o.Parallelism))
+	return fig7Fold(pts, RunPoints(pts, o.Workers))
 }
 
 // Report converts the result to its structured form; the values are
@@ -86,7 +87,7 @@ func init() {
 		"cache-port occupancy split across hits, fills, coherence, and logging").
 		Order(3).
 		Grid(fig7Grid).
-		Reduce(func(_ config.Params, _ Options, pts []Point, res []RunResult) *Report {
+		Reduce(func(_ config.Params, _ runner.Options, pts []Point, res []runner.RunResult) *Report {
 			return fig7Fold(pts, res).Report()
 		}).
 		MustRegister()

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"safetynet/internal/runner"
 	"strconv"
 
 	"safetynet/internal/config"
@@ -29,7 +30,7 @@ func Fig8Sizes() []int {
 }
 
 // fig8Grid expands workload x CLB-size x perturbed-run points.
-func fig8Grid(base config.Params, o Options) []Point {
+func fig8Grid(base config.Params, o runner.Options) []Point {
 	var pts []Point
 	for _, wl := range workload.PaperWorkloads() {
 		for _, size := range Fig8Sizes() {
@@ -41,7 +42,7 @@ func fig8Grid(base config.Params, o Options) []Point {
 					Labels: map[string]string{
 						"workload": wl, "clb": strconv.Itoa(size),
 					},
-					Run: RunConfig{Params: p, Workload: wl, Warmup: o.Warmup, Measure: o.Measure},
+					Run: runner.RunConfig{Params: p, Workload: wl, Warmup: o.Warmup, Measure: o.Measure},
 				})
 			}
 		}
@@ -49,7 +50,7 @@ func fig8Grid(base config.Params, o Options) []Point {
 	return pts
 }
 
-func fig8Fold(pts []Point, res []RunResult) *Fig8Result {
+func fig8Fold(pts []Point, res []runner.RunResult) *Fig8Result {
 	r := &Fig8Result{
 		Workloads: workload.PaperWorkloads(),
 		Sizes:     Fig8Sizes(),
@@ -74,9 +75,9 @@ func fig8Fold(pts []Point, res []RunResult) *Fig8Result {
 
 // Fig8 sweeps total CLB storage per node and measures performance
 // degradation from log back-pressure.
-func Fig8(base config.Params, o Options) *Fig8Result {
+func Fig8(base config.Params, o runner.Options) *Fig8Result {
 	pts := fig8Grid(base, o)
-	return fig8Fold(pts, RunPoints(pts, o.Parallelism))
+	return fig8Fold(pts, RunPoints(pts, o.Workers))
 }
 
 // Normalized returns performance relative to the largest-CLB mean.
@@ -124,7 +125,7 @@ func init() {
 		"performance degradation from CLB back-pressure as buffer capacity shrinks").
 		Order(4).
 		Grid(fig8Grid).
-		Reduce(func(_ config.Params, _ Options, pts []Point, res []RunResult) *Report {
+		Reduce(func(_ config.Params, _ runner.Options, pts []Point, res []runner.RunResult) *Report {
 			return fig8Fold(pts, res).Report()
 		}).
 		MustRegister()

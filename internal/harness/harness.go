@@ -1,87 +1,25 @@
 // Package harness regenerates the paper's evaluation (§4) through a
 // registry of declarative experiments: each table and figure declares a
-// grid of design points (RunConfigs) and a reduce step folding the
-// measured results into a structured Report that renders as text and
-// marshals to JSON and CSV. Points run independently — every run owns
-// its own deterministic engine — so the runner fans them across a
+// grid of design points (runner.RunConfigs) and a reduce step folding
+// the measured results into a structured Report that renders as text
+// and marshals to JSON and CSV. Points run independently — every run
+// owns its own deterministic engine — so the runner fans them across a
 // worker pool without changing any result. cmd/snbench and the
 // repository's benchmarks are thin wrappers around this package.
 //
-// The single-run executor and the worker pool live one layer down, in
-// internal/runner, which this package shares with the campaign engine
-// (internal/campaign); the aliases below keep the harness API the
-// experiment files and external callers program against.
+// The single-run executor, the worker pool, and the sweep sizing
+// (runner.Options) live one layer down, in internal/runner, which this
+// package shares with the campaign engine (internal/campaign) and the
+// exploration engine (internal/explore); experiments program against
+// the runner types directly, so there is exactly one run-description
+// and one sizing vocabulary across every orchestrator.
 package harness
 
 import (
-	"safetynet/internal/backend"
 	"safetynet/internal/config"
 	"safetynet/internal/runner"
-	"safetynet/internal/sim"
 	"safetynet/internal/topology"
-	"safetynet/internal/workload"
 )
-
-// RunConfig is one simulation run; see runner.RunConfig.
-type RunConfig = runner.RunConfig
-
-// RunResult carries everything the experiments report; see
-// runner.RunResult.
-type RunResult = runner.RunResult
-
-// Run executes one simulation on the backend the parameters select and
-// returns its measured results.
-func Run(rc RunConfig) RunResult { return runner.Run(rc) }
-
-// NewBackend builds the simulated system the parameters select; every
-// experiment, fault plan, and CLI flag works on either backend alike.
-func NewBackend(p config.Params, prof workload.Profile) (backend.Backend, error) {
-	return runner.NewBackend(p, prof)
-}
-
-// Options sizes an experiment suite run.
-type Options struct {
-	// Runs is the number of perturbed runs per design point (the paper
-	// simulates each point multiple times with pseudo-random latency
-	// perturbations).
-	Runs int
-	// Warmup and Measure are the per-run windows in cycles.
-	Warmup, Measure sim.Time
-	// BaseSeed seeds the perturbation sequence.
-	BaseSeed uint64
-	// Parallelism is the number of simulations run concurrently (each
-	// on its own engine); zero and negative values mean one worker per
-	// available CPU (runner.Workers). Results are identical at any
-	// worker count — only wall-clock changes.
-	Parallelism int
-}
-
-// DefaultOptions matches a laptop-scale reproduction: three perturbed
-// runs, one-million-cycle warmup and four-million-cycle measurement.
-func DefaultOptions() Options {
-	return Options{Runs: 3, Warmup: 1_000_000, Measure: 4_000_000, BaseSeed: 1}
-}
-
-// QuickOptions trades precision for speed (single run, short windows).
-func QuickOptions() Options {
-	return Options{Runs: 1, Warmup: 500_000, Measure: 1_500_000, BaseSeed: 1}
-}
-
-// sanitized clamps degenerate sizing so experiment grids never build
-// impossible runs (e.g. a zero-length measurement window turning a
-// derived fault period into zero, which would fail at arm time). The
-// worker count goes through the shared runner.Workers path, the same
-// sanitization the campaign engine applies.
-func (o Options) sanitized() Options {
-	if o.Runs < 1 {
-		o.Runs = 1
-	}
-	if o.Measure < 1 {
-		o.Measure = 1
-	}
-	o.Parallelism = runner.Workers(o.Parallelism)
-	return o
-}
 
 // perturbSeedStride spaces the perturbed-run seeds; campaign seed
 // ranges reuse it so migrated experiments expand to identical grids.
@@ -89,7 +27,7 @@ const perturbSeedStride = 7919
 
 // perturbed returns the i-th perturbed copy of p: a distinct seed and a
 // small pseudo-random memory-latency jitter (Alameldeen methodology).
-func perturbed(p config.Params, o Options, i int) config.Params {
+func perturbed(p config.Params, o runner.Options, i int) config.Params {
 	p.Seed = o.BaseSeed + uint64(i)*perturbSeedStride
 	p.LatencyPerturbation = 4
 	return p

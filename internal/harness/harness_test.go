@@ -6,18 +6,19 @@ import (
 
 	"safetynet/internal/config"
 	"safetynet/internal/fault"
+	"safetynet/internal/runner"
 	"safetynet/internal/sim"
 )
 
 // tinyOptions keeps harness tests fast while still covering several
 // checkpoint intervals.
-func tinyOptions() Options {
-	return Options{Runs: 1, Warmup: 300_000, Measure: 700_000, BaseSeed: 1}
+func tinyOptions() runner.Options {
+	return runner.Options{Runs: 1, Warmup: 300_000, Measure: 700_000, BaseSeed: 1}
 }
 
 func TestRunProducesMeasurements(t *testing.T) {
 	p := config.Default()
-	res := Run(RunConfig{Params: p, Workload: "barnes", Warmup: 200_000, Measure: 500_000})
+	res := runner.Run(runner.RunConfig{Params: p, Workload: "barnes", Warmup: 200_000, Measure: 500_000})
 	if res.Crashed {
 		t.Fatalf("crashed: %s", res.CrashCause)
 	}
@@ -37,8 +38,8 @@ func TestRunProducesMeasurements(t *testing.T) {
 
 func TestRunMeasurementExcludesWarmup(t *testing.T) {
 	p := config.Default()
-	short := Run(RunConfig{Params: p, Workload: "barnes", Warmup: 200_000, Measure: 300_000})
-	long := Run(RunConfig{Params: p, Workload: "barnes", Warmup: 200_000, Measure: 600_000})
+	short := runner.Run(runner.RunConfig{Params: p, Workload: "barnes", Warmup: 200_000, Measure: 300_000})
+	long := runner.Run(runner.RunConfig{Params: p, Workload: "barnes", Warmup: 200_000, Measure: 600_000})
 	if long.Instrs <= short.Instrs {
 		t.Fatal("longer window must retire more instructions")
 	}
@@ -51,7 +52,7 @@ func TestRunMeasurementExcludesWarmup(t *testing.T) {
 
 func TestRunCrashPropagates(t *testing.T) {
 	p := config.Unprotected()
-	res := Run(RunConfig{
+	res := runner.Run(runner.RunConfig{
 		Params: p, Workload: "barnes", Warmup: 100_000, Measure: 2_000_000,
 		Fault: fault.Plan{fault.DropOnce{At: 300_000}},
 	})
@@ -62,7 +63,7 @@ func TestRunCrashPropagates(t *testing.T) {
 
 func TestRunFaultPlans(t *testing.T) {
 	p := config.Default()
-	res := Run(RunConfig{
+	res := runner.Run(runner.RunConfig{
 		Params: p, Workload: "barnes", Warmup: 200_000, Measure: 1_200_000,
 		Fault: fault.Plan{fault.DropEvery{Start: 300_000, Period: 400_000}},
 	})
@@ -185,7 +186,7 @@ func TestFig5ShapeMatchesPaper(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	o := Options{Runs: 1, Warmup: 200_000, Measure: 500_000, BaseSeed: 1}
+	o := runner.Options{Runs: 1, Warmup: 200_000, Measure: 500_000, BaseSeed: 1}
 	r := Fig5(config.Default(), o)
 	for _, wl := range r.Workloads {
 		if _, _, crashed := r.Normalized(wl, UnprotectedWithFault); !crashed {
@@ -216,7 +217,7 @@ func TestFig8BackpressureCliff(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	o := Options{Runs: 1, Warmup: 200_000, Measure: 500_000, BaseSeed: 1}
+	o := runner.Options{Runs: 1, Warmup: 200_000, Measure: 500_000, BaseSeed: 1}
 	r := Fig8(config.Default(), o)
 	big := r.Sizes[0]
 	small := r.Sizes[len(r.Sizes)-1]

@@ -3,6 +3,7 @@ package harness
 import (
 	"safetynet/internal/campaign"
 	"safetynet/internal/config"
+	"safetynet/internal/runner"
 	"safetynet/internal/scenario"
 	"safetynet/internal/stats"
 	"safetynet/internal/workload"
@@ -21,7 +22,7 @@ var protocolNames = []string{config.ProtocolDirectory, config.ProtocolSnoop}
 // protocolsCampaign declares the experiment as a campaign: the
 // workload × protocol matrix over a protected base scenario, with the
 // perturbed-run replication expressed as a seed range.
-func protocolsCampaign(o Options) *campaign.Campaign {
+func protocolsCampaign(o runner.Options) *campaign.Campaign {
 	protected := true
 	perturb := uint64(4)
 	wlAxis := campaign.Axis{Name: "workload"}
@@ -52,7 +53,7 @@ func protocolsCampaign(o Options) *campaign.Campaign {
 }
 
 // protocolsGrid expands workload x protocol x perturbed-run points.
-func protocolsGrid(base config.Params, o Options) []Point {
+func protocolsGrid(base config.Params, o runner.Options) []Point {
 	return campaignPoints(protocolsCampaign(o), base)
 }
 
@@ -63,7 +64,7 @@ type protocolsCell struct {
 	crashed bool
 }
 
-func protocolsReduce(pts []Point, res []RunResult) *Report {
+func protocolsReduce(pts []Point, res []runner.RunResult) *Report {
 	cells := map[string]map[string]*protocolsCell{}
 	for _, wl := range workload.PaperWorkloads() {
 		cells[wl] = map[string]*protocolsCell{}
@@ -108,10 +109,10 @@ func protocolsReduce(pts []Point, res []RunResult) *Report {
 
 // Protocols runs the directory-vs-snoop comparison across the five paper
 // workloads.
-func Protocols(base config.Params, o Options) *Report {
-	o = o.sanitized()
+func Protocols(base config.Params, o runner.Options) *Report {
+	o = o.Sanitized()
 	pts := protocolsGrid(base, o)
-	return protocolsReduce(pts, RunPoints(pts, o.Parallelism))
+	return protocolsReduce(pts, RunPoints(pts, o.Workers))
 }
 
 func init() {
@@ -120,7 +121,7 @@ func init() {
 		"side-by-side directory vs snooping IPC and logging overhead across the five paper workloads").
 		Order(8).
 		Grid(protocolsGrid).
-		Reduce(func(_ config.Params, _ Options, pts []Point, res []RunResult) *Report {
+		Reduce(func(_ config.Params, _ runner.Options, pts []Point, res []runner.RunResult) *Report {
 			return protocolsReduce(pts, res)
 		}).
 		MustRegister()

@@ -4,6 +4,7 @@ import (
 	"safetynet/internal/campaign"
 	"safetynet/internal/config"
 	"safetynet/internal/fault"
+	"safetynet/internal/runner"
 	"safetynet/internal/scenario"
 	"safetynet/internal/stats"
 )
@@ -26,7 +27,7 @@ const recoveryWorkload = "oltp"
 // OLTP base scenario with two fault-plan variants — the fault-free
 // control arm and periodic transient drops. The campaign layer owns
 // expansion and labeling; the experiment keeps only its reduce step.
-func recoveryCampaign(o Options) *campaign.Campaign {
+func recoveryCampaign(o runner.Options) *campaign.Campaign {
 	protected := true
 	perturb := uint64(4)
 	// Clamp the derived period: integer division of a tiny measurement
@@ -56,11 +57,11 @@ func recoveryCampaign(o Options) *campaign.Campaign {
 }
 
 // recoveryGrid expands the campaign into the two design points.
-func recoveryGrid(base config.Params, o Options) []Point {
+func recoveryGrid(base config.Params, o runner.Options) []Point {
 	return campaignPoints(recoveryCampaign(o), base)
 }
 
-func recoveryFold(pts []Point, res []RunResult) *RecoveryResult {
+func recoveryFold(pts []Point, res []runner.RunResult) *RecoveryResult {
 	r := &RecoveryResult{Workload: recoveryWorkload}
 	for i, pt := range pts {
 		if pt.Label(campaign.LabelVariant) == "fault-free" {
@@ -81,10 +82,10 @@ func recoveryFold(pts []Point, res []RunResult) *RecoveryResult {
 
 // Recovery injects periodic transient faults into an OLTP run and
 // measures recovery latency and lost work.
-func Recovery(base config.Params, o Options) *RecoveryResult {
-	o = o.sanitized()
+func Recovery(base config.Params, o runner.Options) *RecoveryResult {
+	o = o.Sanitized()
 	pts := recoveryGrid(base, o)
-	return recoveryFold(pts, RunPoints(pts, o.Parallelism))
+	return recoveryFold(pts, RunPoints(pts, o.Workers))
 }
 
 // Report converts the result to its structured form: one row per
@@ -122,7 +123,7 @@ func init() {
 		"recovery coordination latency and lost work under periodic transient faults (§4.2)").
 		Order(5).
 		Grid(recoveryGrid).
-		Reduce(func(_ config.Params, _ Options, pts []Point, res []RunResult) *Report {
+		Reduce(func(_ config.Params, _ runner.Options, pts []Point, res []runner.RunResult) *Report {
 			return recoveryFold(pts, res).Report()
 		}).
 		MustRegister()

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"safetynet/internal/runner"
 	"strconv"
 
 	"safetynet/internal/config"
@@ -26,7 +27,7 @@ func snoopDetectLatencies() []uint64 { return []uint64{10_000, 20_000, 40_000, 8
 
 // snoopDetectGrid expands the sweep: one single-fault snoop run per
 // latency.
-func snoopDetectGrid(base config.Params, o Options) []Point {
+func snoopDetectGrid(base config.Params, o runner.Options) []Point {
 	var pts []Point
 	for _, d := range snoopDetectLatencies() {
 		p := perturbed(base, o, 0)
@@ -42,7 +43,7 @@ func snoopDetectGrid(base config.Params, o Options) []Point {
 		}
 		pts = append(pts, Point{
 			Labels: map[string]string{"detect": strconv.FormatUint(d, 10)},
-			Run: RunConfig{
+			Run: runner.RunConfig{
 				Params: p, Workload: snoopDetectWorkload, Warmup: o.Warmup, Measure: measure,
 				Fault: fault.Plan{fault.DropOnce{At: o.Warmup + measure/8}},
 			},
@@ -51,7 +52,7 @@ func snoopDetectGrid(base config.Params, o Options) []Point {
 	return pts
 }
 
-func snoopDetectReduce(pts []Point, res []RunResult) *Report {
+func snoopDetectReduce(pts []Point, res []runner.RunResult) *Report {
 	rep := &Report{
 		Experiment: "snoopdetect",
 		Title:      "Detection latency on the snooping backend (ordered interconnect)",
@@ -78,10 +79,10 @@ func snoopDetectReduce(pts []Point, res []RunResult) *Report {
 
 // SnoopDetect sweeps the detection (timeout) latency on the snooping
 // backend with a single injected transient fault.
-func SnoopDetect(base config.Params, o Options) *Report {
-	o = o.sanitized()
+func SnoopDetect(base config.Params, o runner.Options) *Report {
+	o = o.Sanitized()
 	pts := snoopDetectGrid(base, o)
-	return snoopDetectReduce(pts, RunPoints(pts, o.Parallelism))
+	return snoopDetectReduce(pts, RunPoints(pts, o.Workers))
 }
 
 func init() {
@@ -90,7 +91,7 @@ func init() {
 		"detection/recovery latency sweep on the ordered snooping interconnect (fn. 1, §2.3)").
 		Order(7).
 		Grid(snoopDetectGrid).
-		Reduce(func(_ config.Params, _ Options, pts []Point, res []RunResult) *Report {
+		Reduce(func(_ config.Params, _ runner.Options, pts []Point, res []runner.RunResult) *Report {
 			return snoopDetectReduce(pts, res)
 		}).
 		MustRegister()

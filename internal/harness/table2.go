@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"safetynet/internal/runner"
 
 	"safetynet/internal/config"
 )
@@ -51,7 +52,7 @@ func init() {
 		"Table 2: Target System Parameters",
 		"the simulated target-system parameters (no simulation runs)").
 		Order(0).
-		Reduce(func(base config.Params, _ Options, _ []Point, _ []RunResult) *Report {
+		Reduce(func(base config.Params, _ runner.Options, _ []Point, _ []runner.RunResult) *Report {
 			return Table2Report(base)
 		}).
 		MustRegister()

@@ -213,17 +213,29 @@ func RunCtx(ctx context.Context, rc RunConfig) (RunResult, error) {
 	}
 	cAfter := be.Counters()
 
+	// Durable progress can regress across the window-start snapshot: a
+	// recovery inside the window may roll back instructions that were
+	// already counted at the snapshot, leaving the cumulative durable
+	// count below it. Clamp instead of wrapping the unsigned delta — a
+	// window that ends with less durable work than it started made zero
+	// forward progress, not 2^64 of it.
+	sub := func(after, before uint64) uint64 {
+		if after < before {
+			return 0
+		}
+		return after - before
+	}
 	res.Cycles = uint64(rc.Measure)
-	res.Instrs = cAfter.Instrs - cBefore.Instrs
+	res.Instrs = sub(cAfter.Instrs, cBefore.Instrs)
 	res.IPC = float64(res.Instrs) / float64(rc.Measure)
-	res.StoresLogged = cAfter.StoresLogged - cBefore.StoresLogged
-	res.TransfersLogged = cAfter.TransfersLogged - cBefore.TransfersLogged
-	res.InstrsRolledBack = cAfter.InstrsRolledBack - cBefore.InstrsRolledBack
+	res.StoresLogged = sub(cAfter.StoresLogged, cBefore.StoresLogged)
+	res.TransfersLogged = sub(cAfter.TransfersLogged, cBefore.TransfersLogged)
+	res.InstrsRolledBack = sub(cAfter.InstrsRolledBack, cBefore.InstrsRolledBack)
 	// Like every other counter, recoveries and losses are window deltas,
 	// so warmup-time faults are not attributed to the measurement.
 	res.Recoveries = cAfter.Recoveries - cBefore.Recoveries
-	res.NetSent = cAfter.MessagesSent - cBefore.MessagesSent
-	res.NetDropped = cAfter.MessagesDropped - cBefore.MessagesDropped
+	res.NetSent = sub(cAfter.MessagesSent, cBefore.MessagesSent)
+	res.NetDropped = sub(cAfter.MessagesDropped, cBefore.MessagesDropped)
 
 	if m == nil {
 		return res, nil

@@ -42,8 +42,9 @@
 // Report that renders as text and marshals to JSON or CSV. The registry
 // is open — NewExperiment builds and registers experiments from any
 // package, and every built-in table and figure is defined through the
-// same builder. RunTable2, RunFig5 ... RunDetect remain as thin
-// wrappers; cmd/snbench drives the registry.
+// same builder; cmd/snbench drives the registry. (The per-figure
+// RunTable2/RunFig5/... wrappers were retired in favor of the uniform
+// RunExperiment(name, cfg, opts).)
 package safetynet
 
 import (
@@ -54,9 +55,8 @@ import (
 	"safetynet/internal/config"
 	"safetynet/internal/fault"
 	"safetynet/internal/harness"
-	"safetynet/internal/machine"
+	"safetynet/internal/runner"
 	"safetynet/internal/sim"
-	"safetynet/internal/snoop"
 	"safetynet/internal/topology"
 	"safetynet/internal/workload"
 )
@@ -99,11 +99,11 @@ func Workloads() []string { return workload.Names() }
 func PaperWorkloads() []string { return workload.PaperWorkloads() }
 
 // System is one simulated machine running a workload, on whichever
-// coherence backend the configuration selects.
+// coherence backend the configuration selects. The backend is sealed:
+// instrumentation goes through Observe and the protocol-neutral
+// Result/Counters surface, never through white-box accessors.
 type System struct {
 	be       backend.Backend
-	m        *machine.Machine // non-nil only for the directory backend
-	sn       *snoop.System    // non-nil only for the snoop backend
 	cfg      Config
 	workload string
 }
@@ -120,14 +120,11 @@ func New(cfg Config, workloadName string) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	be, err := harness.NewBackend(cfg, prof)
+	be, err := runner.NewBackend(cfg, prof)
 	if err != nil {
 		return nil, err
 	}
-	s := &System{be: be, cfg: cfg, workload: workloadName}
-	s.m, _ = be.(*machine.Machine)
-	s.sn, _ = be.(*snoop.System)
-	return s, nil
+	return &System{be: be, cfg: cfg, workload: workloadName}, nil
 }
 
 // Start launches the processors and, when SafetyNet is enabled, the
@@ -322,28 +319,25 @@ type RunObserver = backend.Observer
 // observers fire in registration order.
 func (s *System) Observe(o *RunObserver) { s.be.Observe(o) }
 
-// Machine exposes the underlying directory machine for white-box
-// inspection (used by the examples and the randomized checker). It is nil
-// when the snoop backend is selected; see Snoop.
-func (s *System) Machine() *machine.Machine { return s.m }
-
-// Snoop exposes the underlying snooping system for white-box inspection.
-// It is nil when the directory backend is selected.
-func (s *System) Snoop() *snoop.System { return s.sn }
+// Protocol reports which coherence backend this system runs
+// ("directory" or "snoop").
+func (s *System) Protocol() string { return s.cfg.ProtocolName() }
 
 // ---------------------------------------------------------------------
-// Experiment harness (one entry point per table/figure)
+// Experiment harness (registry of tables/figures)
 // ---------------------------------------------------------------------
 
 // ExperimentOptions sizes an experiment run; see DefaultOptions and
-// QuickOptions.
-type ExperimentOptions = harness.Options
+// QuickOptions. It is the one sizing surface shared by experiments,
+// campaigns, and explorations (runner.Options): Workers is the
+// worker-pool width (0 = one per CPU) everywhere.
+type ExperimentOptions = runner.Options
 
 // DefaultOptions is the standard experiment sizing (three perturbed runs).
-func DefaultOptions() ExperimentOptions { return harness.DefaultOptions() }
+func DefaultOptions() ExperimentOptions { return runner.DefaultOptions() }
 
 // QuickOptions trades precision for speed.
-func QuickOptions() ExperimentOptions { return harness.QuickOptions() }
+func QuickOptions() ExperimentOptions { return runner.QuickOptions() }
 
 // Report is the structured result of one experiment: labeled design
 // points with mean ± stddev values and crash markers. Render prints the
@@ -383,9 +377,9 @@ func Experiments() []ExperimentInfo {
 }
 
 // RunExperiment runs one registered experiment against the given
-// configuration. Options.Parallelism > 1 fans the experiment's
-// independent simulations across that many workers without changing any
-// result. Unknown names report the valid ones.
+// configuration. Options.Workers sizes the worker pool the experiment's
+// independent simulations fan across without changing any result.
+// Unknown names report the valid ones.
 func RunExperiment(name string, cfg Config, o ExperimentOptions) (*Report, error) {
 	return harness.RunExperiment(name, cfg, o)
 }
@@ -405,11 +399,11 @@ type ExperimentPoint = harness.Point
 
 // ExperimentRun is one concrete simulation: parameters, workload, the
 // warmup/measurement windows, and the fault plan armed before it starts.
-type ExperimentRun = harness.RunConfig
+type ExperimentRun = runner.RunConfig
 
 // ExperimentRunResult carries everything a run measured; Reduce
 // functions fold a grid of these into a Report.
-type ExperimentRunResult = harness.RunResult
+type ExperimentRunResult = runner.RunResult
 
 // ExperimentBuilder assembles one experiment for registration; see
 // NewExperiment.
@@ -434,37 +428,4 @@ type ExperimentBuilder = harness.Builder
 //		Register()
 func NewExperiment(name, title, description string) *ExperimentBuilder {
 	return harness.NewExperiment(name, title, description)
-}
-
-// RunTable2 renders the target-system parameter table.
-func RunTable2(cfg Config) string { return harness.Table2(cfg) }
-
-// RunFig5 regenerates Figure 5 (Experiments 1-3) and returns its report.
-func RunFig5(cfg Config, o ExperimentOptions) string { return harness.Fig5(cfg, o).Render() }
-
-// RunFig6 regenerates Figure 6 (store/coherence frequencies vs interval).
-func RunFig6(cfg Config, o ExperimentOptions) string { return harness.Fig6(cfg, o).Render() }
-
-// RunFig7 regenerates Figure 7 (cache bandwidth vs interval).
-func RunFig7(cfg Config, o ExperimentOptions) string { return harness.Fig7(cfg, o).Render() }
-
-// RunFig8 regenerates Figure 8 (performance vs CLB size).
-func RunFig8(cfg Config, o ExperimentOptions) string { return harness.Fig8(cfg, o).Render() }
-
-// RunRecovery measures recovery latency and lost work (§4.2).
-func RunRecovery(cfg Config, o ExperimentOptions) string { return harness.Recovery(cfg, o).Render() }
-
-// RunDetect sweeps fault-detection latency (§3.4).
-func RunDetect(cfg Config, o ExperimentOptions) string { return harness.Detect(cfg, o).Render() }
-
-// RunSnoopDetect sweeps detection latency on the snooping backend
-// (fn. 1, §2.3).
-func RunSnoopDetect(cfg Config, o ExperimentOptions) string {
-	return harness.SnoopDetect(cfg, o).Render()
-}
-
-// RunProtocols compares directory and snooping SafetyNet side by side
-// across the five paper workloads.
-func RunProtocols(cfg Config, o ExperimentOptions) string {
-	return harness.Protocols(cfg, o).Render()
 }

@@ -112,13 +112,19 @@ func TestKillSwitchThroughFacade(t *testing.T) {
 	if err := sys.Inject(KillEWSwitch(5, 100_000)); err != nil {
 		t.Fatal(err)
 	}
+	// The backend is sealed: the armed fault's firing is observed through
+	// the backend-neutral hooks, not white-box topology access.
+	var fired []string
+	sys.Observe(&RunObserver{
+		FaultFired: func(cycle uint64, kind string) { fired = append(fired, kind) },
+	})
 	sys.Start()
 	sys.Run(1_500_000)
 	if sys.Result().Crashed {
 		t.Fatal("protected system must survive the hard fault")
 	}
-	if sys.Machine().Topo.DeadCount() != 1 {
-		t.Fatal("switch not killed")
+	if len(fired) != 1 || fired[0] != "kill-switch" {
+		t.Fatalf("fired = %v, want one kill-switch", fired)
 	}
 }
 
@@ -130,8 +136,8 @@ func TestSnoopBackendThroughFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sys.Machine() != nil || sys.Snoop() == nil {
-		t.Fatal("snoop backend not selected")
+	if sys.Protocol() != ProtocolSnoop {
+		t.Fatalf("Protocol() = %q, want snoop backend", sys.Protocol())
 	}
 	if err := sys.Inject(DropOnce(200_000), DuplicateOnce(500_000)); err != nil {
 		t.Fatal(err)
@@ -194,8 +200,8 @@ func TestSnoopConfigResizesWithoutTorus(t *testing.T) {
 	}
 	sys.Start()
 	sys.Run(150_000)
-	if got := len(sys.Snoop().Nodes()); got != 8 {
-		t.Fatalf("nodes = %d, want 8", got)
+	if s := sys.Summary(); !strings.Contains(s, "8-node") {
+		t.Fatalf("summary not sized to 8 nodes:\n%s", s)
 	}
 	if sys.Result().Instrs == 0 {
 		t.Fatal("no progress")
@@ -219,22 +225,28 @@ func TestProtocolValidation(t *testing.T) {
 }
 
 // TestDirectoryBackendUnchanged: the default protocol still selects the
-// directory machine and exposes it for white-box use.
+// directory machine.
 func TestDirectoryBackendUnchanged(t *testing.T) {
 	sys, err := New(DefaultConfig(), "barnes")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sys.Machine() == nil || sys.Snoop() != nil {
-		t.Fatal("directory backend not selected")
+	if sys.Protocol() != ProtocolDirectory {
+		t.Fatalf("Protocol() = %q, want directory backend", sys.Protocol())
 	}
 	if got := sys.Result().Protocol; got != ProtocolDirectory {
 		t.Fatalf("Protocol = %q", got)
 	}
 }
 
+// TestTable2Renders drives the parameter table through the uniform
+// experiment registry (the per-figure wrappers are gone).
 func TestTable2Renders(t *testing.T) {
-	out := RunTable2(DefaultConfig())
+	rep, err := RunExperiment("table2", DefaultConfig(), QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.Render()
 	for _, want := range []string{"128 KB", "4 MB", "512 kbytes", "2D torus", "100000 cycles"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("Table 2 missing %q:\n%s", want, out)
